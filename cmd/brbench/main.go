@@ -1,0 +1,107 @@
+// Command brbench regenerates the paper's evaluation. With no flags it
+// runs the full suite (17 workloads × 3 heuristic sets) and prints every
+// table and figure; -table and -figure select individual experiments.
+//
+//	brbench                 # everything
+//	brbench -table 4        # dynamic frequency measurements
+//	brbench -figure 13      # sequence lengths under Heuristic Set III
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"branchreorder/internal/bench"
+	"branchreorder/internal/lower"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "render only this table (2-8)")
+		figure   = flag.Int("figure", 0, "render only this figure (11-13)")
+		ablation = flag.Bool("ablation", false, "run the design-choice ablation study instead")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *ablation {
+		rows, err := bench.RunAblation(lower.SetIII, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "brbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.AblationTable(lower.SetIII, rows))
+		return
+	}
+
+	// Tables 2 and 3 need no measurements.
+	switch *table {
+	case 2:
+		fmt.Print(bench.Table2())
+		return
+	case 3:
+		fmt.Print(bench.Table3())
+		return
+	}
+
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	suite, err := bench.RunSuite(progress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "brbench:", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *table != 0:
+		text, err := tableText(suite, *table)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "brbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(text)
+	case *figure != 0:
+		text, err := suite.Figure(*figure)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "brbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(text)
+	default:
+		fmt.Print(bench.Table2(), "\n")
+		fmt.Print(bench.Table3(), "\n")
+		for n := 4; n <= 8; n++ {
+			text, _ := tableText(suite, n)
+			fmt.Print(text, "\n")
+		}
+		for n := 11; n <= 13; n++ {
+			text, _ := suite.Figure(n)
+			fmt.Print(text, "\n")
+		}
+	}
+}
+
+func tableText(s *bench.Suite, n int) (string, error) {
+	switch n {
+	case 2:
+		return bench.Table2(), nil
+	case 3:
+		return bench.Table3(), nil
+	case 4:
+		return s.Table4(), nil
+	case 5:
+		return s.Table5(), nil
+	case 6:
+		return s.Table6(), nil
+	case 7:
+		return s.Table7(), nil
+	case 8:
+		return s.Table8(), nil
+	default:
+		return "", fmt.Errorf("no table %d (have 2-8)", n)
+	}
+}

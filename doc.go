@@ -1,0 +1,21 @@
+// Package branchreorder is a from-scratch reproduction of
+//
+//	Minghui Yang, Gang-Ryung Uh, David B. Whalley.
+//	"Improving Performance by Branch Reordering".
+//	PLDI 1998. DOI 10.1145/277650.277711.
+//
+// The repository contains a Mini-C front end, a SPARC-like IR with
+// condition codes, a conventional optimizer, the paper's profile-guided
+// branch-reordering transformation, an interpreter/simulator with branch
+// predictors and machine timing models, 17 workloads mirroring the
+// paper's Unix-utility benchmarks, and a harness regenerating every table
+// and figure of the evaluation. See README.md for a tour, DESIGN.md for
+// the system inventory, and EXPERIMENTS.md for paper-versus-measured
+// results.
+//
+// The benchmarks in bench_test.go regenerate the evaluation; run
+//
+//	go test -bench=. -benchmem
+//
+// or use cmd/brbench for the rendered tables.
+package branchreorder

@@ -1,0 +1,83 @@
+// switchstmt: lower the same dispatch-heavy scanner under the paper's
+// three switch-translation heuristic sets (Table 2), reorder each, and
+// compare modelled cycles on the three SPARC machines. This reproduces
+// the paper's observation that branch reordering gets more valuable as
+// indirect jumps get more expensive — and that profile data could decide
+// between a jump table and a reordered linear search.
+//
+//	go run ./examples/switchstmt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"branchreorder/internal/lower"
+	"branchreorder/internal/machine"
+	"branchreorder/internal/pipeline"
+	"branchreorder/internal/sim"
+	"branchreorder/internal/workload"
+)
+
+func main() {
+	// The lex workload carries the suite's biggest switch statements.
+	w, ok := workload.Named("lex")
+	if !ok {
+		log.Fatal("lex workload missing")
+	}
+
+	fmt.Println("lex workload under the three switch-translation heuristic sets")
+	fmt.Println()
+	fmt.Printf("%-5s %-28s %12s %12s %10s\n",
+		"set", "switch translations", "insts", "reordered", "Δinsts")
+
+	type built struct {
+		set  lower.HeuristicSet
+		base *sim.Measurement
+		re   *sim.Measurement
+	}
+	var results []built
+	for _, set := range []lower.HeuristicSet{lower.SetI, lower.SetII, lower.SetIII} {
+		b, err := pipeline.Build(w.Source, w.Train(), pipeline.Options{Switch: set, Optimize: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := sim.Run(b.Baseline, w.Test(), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		re, err := sim.Run(b.Reordered, w.Test(), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kinds := ""
+		for _, k := range []lower.SwitchKind{lower.SwitchIndirect, lower.SwitchBinary, lower.SwitchLinear} {
+			if n := b.SwitchKinds[k]; n > 0 {
+				kinds += fmt.Sprintf("%d %v  ", n, k)
+			}
+		}
+		fmt.Printf("%-5v %-28s %12d %12d %+9.2f%%\n",
+			set, kinds, base.Stats.Insts, re.Stats.Insts,
+			100*(float64(re.Stats.Insts)/float64(base.Stats.Insts)-1))
+		results = append(results, built{set, base, re})
+	}
+
+	fmt.Println("\nModelled cycles (baseline -> reordered) per machine, using the")
+	fmt.Println("heuristic set the paper pairs with each machine:")
+	for _, cfg := range machine.All() {
+		for _, r := range results {
+			if r.set != cfg.Switch {
+				continue
+			}
+			c0 := r.base.Cycles[cfg.Name]
+			c1 := r.re.Cycles[cfg.Name]
+			fmt.Printf("  %-14s (set %-3v) %12d -> %12d   (%+.2f%%)\n",
+				cfg.Name, cfg.Switch, c0, c1, 100*(float64(c1)/float64(c0)-1))
+		}
+	}
+	fmt.Println("\nSet III's linear searches start out slower than Set I's binary")
+	fmt.Println("search, but expose the whole switch to reordering — after the")
+	fmt.Println("transformation the linear version is the fastest of the three,")
+	fmt.Println("which is why the paper suggests profile data should pick the")
+	fmt.Println("switch translation method in the first place.")
+}

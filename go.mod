@@ -1,0 +1,3 @@
+module branchreorder
+
+go 1.22

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"branchreorder/internal/interp"
+	"branchreorder/internal/lower"
+	"branchreorder/internal/pipeline"
+	"branchreorder/internal/workload"
+)
+
+// Ablation studies for the transformation's design choices (DESIGN.md's
+// per-experiment index): each variant disables one Section 7/8 mechanism
+// and reports the dynamic cost the full transformation saves, plus the
+// effect of the Section 10 common-successor extension.
+
+// AblationVariant names one configuration.
+type AblationVariant struct {
+	Name string
+	Opts pipeline.Options
+}
+
+// AblationVariants returns the studied configurations, full first.
+func AblationVariants(set lower.HeuristicSet) []AblationVariant {
+	base := pipeline.Options{Switch: set, Optimize: true}
+	v := func(name string, mod func(*pipeline.Options)) AblationVariant {
+		o := base
+		mod(&o)
+		return AblationVariant{Name: name, Opts: o}
+	}
+	return []AblationVariant{
+		v("full", func(o *pipeline.Options) {}),
+		v("no-bound-order", func(o *pipeline.Options) { o.Transform.NoBoundOrder = true }),
+		v("no-cmp-reuse", func(o *pipeline.Options) { o.Transform.NoCmpReuse = true }),
+		v("no-tail-dup", func(o *pipeline.Options) { o.Transform.NoTailDup = true }),
+		v("+common-succ", func(o *pipeline.Options) { o.CommonSuccessor = true }),
+	}
+}
+
+// AblationRow is one workload's dynamic instruction count per variant.
+type AblationRow struct {
+	Workload string
+	Insts    map[string]uint64
+	Baseline uint64
+}
+
+// RunAblation measures the given workloads (all when names is empty)
+// under every variant.
+func RunAblation(set lower.HeuristicSet, names []string) ([]AblationRow, error) {
+	var ws []workload.Workload
+	if len(names) == 0 {
+		ws = workload.All()
+	} else {
+		for _, n := range names {
+			w, ok := workload.Named(n)
+			if !ok {
+				return nil, fmt.Errorf("unknown workload %q", n)
+			}
+			ws = append(ws, w)
+		}
+	}
+	var rows []AblationRow
+	for _, w := range ws {
+		row := AblationRow{Workload: w.Name, Insts: map[string]uint64{}}
+		train, test := w.Train(), w.Test()
+		var refOut string
+		for i, v := range AblationVariants(set) {
+			b, err := pipeline.Build(w.Source, train, v.Opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", w.Name, v.Name, err)
+			}
+			m := &interp.Machine{Prog: b.Reordered, Input: test}
+			if _, err := m.Run(); err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", w.Name, v.Name, err)
+			}
+			if i == 0 {
+				refOut = m.Output.String()
+				mb := &interp.Machine{Prog: b.Baseline, Input: test}
+				if _, err := mb.Run(); err != nil {
+					return nil, err
+				}
+				row.Baseline = mb.Stats.Insts
+			} else if m.Output.String() != refOut {
+				return nil, fmt.Errorf("%s/%s: output diverged", w.Name, v.Name)
+			}
+			row.Insts[v.Name] = m.Stats.Insts
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationTable renders the study.
+func AblationTable(set lower.HeuristicSet, rows []AblationRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation: dynamic instructions by disabled mechanism (Heuristic Set %v)\n\n", set)
+	w := newTab(&sb)
+	variants := AblationVariants(set)
+	header := "Program\tbaseline\t"
+	for _, v := range variants {
+		header += v.Name + "\t"
+	}
+	fmt.Fprintln(w, header)
+	for _, r := range rows {
+		line := fmt.Sprintf("%s\t%d\t", r.Workload, r.Baseline)
+		for _, v := range variants {
+			line += fmt.Sprintf("%d\t", r.Insts[v.Name])
+		}
+		fmt.Fprintln(w, line)
+	}
+	w.Flush()
+	return sb.String()
+}

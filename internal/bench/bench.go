@@ -1,0 +1,109 @@
+// Package bench regenerates the paper's evaluation: Tables 3-8 and
+// Figures 11-13. Each experiment builds the 17 workloads under the
+// relevant switch heuristic set, measures baseline and reordered
+// executables on the test inputs, and renders rows shaped like the
+// paper's.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"branchreorder/internal/core"
+	"branchreorder/internal/lower"
+	"branchreorder/internal/pipeline"
+	"branchreorder/internal/sim"
+	"branchreorder/internal/workload"
+)
+
+// ProgramRun is one workload built under one heuristic set and measured
+// on its test input.
+type ProgramRun struct {
+	Workload workload.Workload
+	Set      lower.HeuristicSet
+	Build    *pipeline.BuildResult
+	Base     *sim.Measurement
+	Reord    *sim.Measurement
+
+	StaticBase  int64
+	StaticReord int64
+}
+
+// PctChange returns 100*(after/before - 1).
+func PctChange(before, after uint64) float64 {
+	if before == 0 {
+		return 0
+	}
+	return 100 * (float64(after)/float64(before) - 1)
+}
+
+// Run builds and measures one workload under one heuristic set.
+func Run(w workload.Workload, set lower.HeuristicSet) (*ProgramRun, error) {
+	b, err := pipeline.Build(w.Source, w.Train(), pipeline.Options{Switch: set, Optimize: true})
+	if err != nil {
+		return nil, fmt.Errorf("%s (set %v): %w", w.Name, set, err)
+	}
+	test := w.Test()
+	base, err := sim.Run(b.Baseline, test, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%s (set %v) baseline: %w", w.Name, set, err)
+	}
+	reord, err := sim.Run(b.Reordered, test, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%s (set %v) reordered: %w", w.Name, set, err)
+	}
+	if base.Output != reord.Output || base.Ret != reord.Ret {
+		return nil, fmt.Errorf("%s (set %v): reordered output differs from baseline", w.Name, set)
+	}
+	const ijmpInsts = 3
+	return &ProgramRun{
+		Workload:    w,
+		Set:         set,
+		Build:       b,
+		Base:        base,
+		Reord:       reord,
+		StaticBase:  pipeline.StaticInsts(b.Baseline, ijmpInsts),
+		StaticReord: pipeline.StaticInsts(b.Reordered, ijmpInsts),
+	}, nil
+}
+
+// Suite holds every (heuristic set × workload) run; tables and figures
+// are derived from it without re-running anything.
+type Suite struct {
+	Runs map[lower.HeuristicSet][]*ProgramRun
+}
+
+// Sets lists the heuristic sets in presentation order.
+func Sets() []lower.HeuristicSet {
+	return []lower.HeuristicSet{lower.SetI, lower.SetII, lower.SetIII}
+}
+
+// RunSuite executes the full evaluation. Progress lines go to progress
+// when non-nil.
+func RunSuite(progress io.Writer) (*Suite, error) {
+	s := &Suite{Runs: map[lower.HeuristicSet][]*ProgramRun{}}
+	for _, set := range Sets() {
+		for _, w := range workload.All() {
+			if progress != nil {
+				fmt.Fprintf(progress, "building %-8s heuristic set %v\n", w.Name, set)
+			}
+			r, err := Run(w, set)
+			if err != nil {
+				return nil, err
+			}
+			s.Runs[set] = append(s.Runs[set], r)
+		}
+	}
+	return s, nil
+}
+
+// ReorderedSeqResults returns the per-sequence results that were applied.
+func (r *ProgramRun) ReorderedSeqResults() []core.Result {
+	var out []core.Result
+	for _, res := range r.Build.Results {
+		if res.Applied {
+			out = append(out, res)
+		}
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package cminus
+
+// File is a parsed translation unit.
+type File struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a global scalar or array.
+type GlobalDecl struct {
+	Pos     Pos
+	Name    string
+	IsArray bool
+	Size    int64   // array length; 1 for scalars
+	Init    []int64 // initial values (len <= Size); scalars use Init[0]
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []string
+	Body   *BlockStmt
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	Position() Pos
+}
+
+// Statements.
+
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+type DeclStmt struct {
+	Pos   Pos
+	Names []string
+	Inits []Expr // parallel to Names; nil entries mean uninitialized
+}
+
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+type DoWhileStmt struct {
+	Pos  Pos
+	Body Stmt
+	Cond Expr
+}
+
+type ForStmt struct {
+	Pos  Pos
+	Init Expr // may be nil
+	Cond Expr // may be nil (infinite)
+	Post Expr // may be nil
+	Body Stmt
+}
+
+// SwitchCase is one case (or default) arm of a switch; C fall-through
+// semantics apply between consecutive arms.
+type SwitchCase struct {
+	Pos       Pos
+	IsDefault bool
+	Value     int64
+	Body      []Stmt
+}
+
+type SwitchStmt struct {
+	Pos   Pos
+	Tag   Expr
+	Cases []*SwitchCase
+}
+
+type BreakStmt struct{ Pos Pos }
+
+type ContinueStmt struct{ Pos Pos }
+
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr // may be nil (returns 0)
+}
+
+type EmptyStmt struct{ Pos Pos }
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()      {}
+func (*SwitchStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+func (*EmptyStmt) stmtNode()    {}
+
+// Expressions.
+
+// IntLit is an integer or character literal (or the predefined EOF).
+type IntLit struct {
+	Pos Pos
+	Val int64
+}
+
+// Ident references a scalar variable (local, parameter, or global).
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// IndexExpr is arr[idx] on a global array.
+type IndexExpr struct {
+	Pos   Pos
+	Arr   string
+	Index Expr
+}
+
+// CallExpr calls a user function or a builtin (getchar, putchar, putint).
+type CallExpr struct {
+	Pos    Pos
+	Callee string
+	Args   []Expr
+}
+
+// UnaryExpr is -x, !x or ~x.
+type UnaryExpr struct {
+	Pos Pos
+	Op  string
+	X   Expr
+}
+
+// BinaryExpr covers arithmetic, bitwise, shift, comparison, and the
+// short-circuit operators && and ||.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   string
+	L, R Expr
+}
+
+// AssignExpr is lhs OP= rhs (Op is "" for plain assignment). The LHS is an
+// *Ident or *IndexExpr.
+type AssignExpr struct {
+	Pos Pos
+	Op  string // "", "+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"
+	LHS Expr
+	RHS Expr
+}
+
+// IncDecExpr is ++x, --x, x++ or x--.
+type IncDecExpr struct {
+	Pos     Pos
+	Op      string // "++" or "--"
+	Postfix bool
+	X       Expr // *Ident or *IndexExpr
+}
+
+// CondExpr is cond ? then : else.
+type CondExpr struct {
+	Pos  Pos
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+func (*IntLit) exprNode()     {}
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*AssignExpr) exprNode() {}
+func (*IncDecExpr) exprNode() {}
+func (*CondExpr) exprNode()   {}
+
+func (e *IntLit) Position() Pos     { return e.Pos }
+func (e *Ident) Position() Pos      { return e.Pos }
+func (e *IndexExpr) Position() Pos  { return e.Pos }
+func (e *CallExpr) Position() Pos   { return e.Pos }
+func (e *UnaryExpr) Position() Pos  { return e.Pos }
+func (e *BinaryExpr) Position() Pos { return e.Pos }
+func (e *AssignExpr) Position() Pos { return e.Pos }
+func (e *IncDecExpr) Position() Pos { return e.Pos }
+func (e *CondExpr) Position() Pos   { return e.Pos }

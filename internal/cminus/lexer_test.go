@@ -1,0 +1,162 @@
+package cminus
+
+import (
+	"testing"
+)
+
+func lexKinds(t *testing.T, src string) []Tok {
+	t.Helper()
+	toks, err := LexAll(src)
+	if err != nil {
+		t.Fatalf("LexAll(%q): %v", src, err)
+	}
+	return toks[:len(toks)-1] // drop EOF
+}
+
+func TestLexIdentifiersAndKeywords(t *testing.T) {
+	toks := lexKinds(t, "int foo _bar2 while whileX")
+	want := []struct {
+		kind TokKind
+		text string
+	}{
+		{TokKeyword, "int"},
+		{TokIdent, "foo"},
+		{TokIdent, "_bar2"},
+		{TokKeyword, "while"},
+		{TokIdent, "whileX"},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = %v %q, want %v %q", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	tests := []struct {
+		src  string
+		want int64
+	}{
+		{"0", 0},
+		{"42", 42},
+		{"007", 7},
+		{"0x10", 16},
+		{"0xff", 255},
+		{"0XAB", 171},
+	}
+	for _, tt := range tests {
+		toks := lexKinds(t, tt.src)
+		if len(toks) != 1 || toks[0].Kind != TokInt || toks[0].Val != tt.want {
+			t.Errorf("lex %q = %+v, want int %d", tt.src, toks, tt.want)
+		}
+	}
+}
+
+func TestLexCharLiterals(t *testing.T) {
+	tests := []struct {
+		src  string
+		want int64
+	}{
+		{`'a'`, 'a'},
+		{`' '`, ' '},
+		{`'\n'`, '\n'},
+		{`'\t'`, '\t'},
+		{`'\0'`, 0},
+		{`'\\'`, '\\'},
+		{`'\''`, '\''},
+	}
+	for _, tt := range tests {
+		toks := lexKinds(t, tt.src)
+		if len(toks) != 1 || toks[0].Kind != TokInt || toks[0].Val != tt.want {
+			t.Errorf("lex %s = %+v, want %d", tt.src, toks, tt.want)
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks := lexKinds(t, `"hi\n" "a\"b"`)
+	if len(toks) != 2 {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	if string(toks[0].Str) != "hi\n" {
+		t.Errorf("first string = %q", toks[0].Str)
+	}
+	if string(toks[1].Str) != `a"b` {
+		t.Errorf("second string = %q", toks[1].Str)
+	}
+}
+
+func TestLexPunctuationLongestMatch(t *testing.T) {
+	toks := lexKinds(t, "a<<=b >>= << <= < == = ++ + && &")
+	var got []string
+	for _, tk := range toks {
+		if tk.Kind == TokPunct {
+			got = append(got, tk.Text)
+		}
+	}
+	want := []string{"<<=", ">>=", "<<", "<=", "<", "==", "=", "++", "+", "&&", "&"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("punct %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexKinds(t, "a // line comment\nb /* block\ncomment */ c")
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens, want 3: %+v", len(toks), toks)
+	}
+	for i, name := range []string{"a", "b", "c"} {
+		if toks[i].Text != name {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, name)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lexKinds(t, "a\n  b")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{
+		"'a",        // unterminated char
+		`"abc`,      // unterminated string
+		"\"a\nb\"",  // newline in string
+		"/* no end", // unterminated comment
+		"'\\q'",     // unknown escape
+		"@",         // stray character
+		"\"a\\q\"",  // unknown escape in string
+	}
+	for _, src := range bad {
+		if _, err := LexAll(src); err == nil {
+			t.Errorf("LexAll(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLexErrorHasPosition(t *testing.T) {
+	_, err := LexAll("ab\n   @")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	e, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if e.Pos.Line != 2 {
+		t.Errorf("error at line %d, want 2 (%v)", e.Pos.Line, e)
+	}
+}

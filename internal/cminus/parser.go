@@ -1,0 +1,629 @@
+package cminus
+
+// Parser is a recursive-descent parser for Mini-C.
+type Parser struct {
+	lex *Lexer
+	tok Tok
+	err error
+}
+
+// Parse parses a translation unit.
+func Parse(src string) (*File, error) {
+	p := &Parser{lex: NewLexer(src)}
+	p.next()
+	f := &File{}
+	for p.err == nil && p.tok.Kind != TokEOF {
+		p.parseTopLevel(f)
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	return f, nil
+}
+
+func (p *Parser) next() {
+	if p.err != nil {
+		return
+	}
+	t, err := p.lex.Next()
+	if err != nil {
+		p.err = err
+		p.tok = Tok{Kind: TokEOF}
+		return
+	}
+	p.tok = t
+}
+
+func (p *Parser) fail(format string, args ...interface{}) {
+	if p.err == nil {
+		p.err = errf(p.tok.Pos, format, args...)
+		p.tok = Tok{Kind: TokEOF}
+	}
+}
+
+func (p *Parser) isPunct(text string) bool {
+	return p.tok.Kind == TokPunct && p.tok.Text == text
+}
+
+func (p *Parser) isKeyword(text string) bool {
+	return p.tok.Kind == TokKeyword && p.tok.Text == text
+}
+
+func (p *Parser) expectPunct(text string) {
+	if !p.isPunct(text) {
+		p.fail("expected %q, found %s", text, p.tok)
+		return
+	}
+	p.next()
+}
+
+func (p *Parser) expectKeyword(text string) {
+	if !p.isKeyword(text) {
+		p.fail("expected %q, found %s", text, p.tok)
+		return
+	}
+	p.next()
+}
+
+func (p *Parser) expectIdent() string {
+	if p.tok.Kind != TokIdent {
+		p.fail("expected identifier, found %s", p.tok)
+		return ""
+	}
+	name := p.tok.Text
+	p.next()
+	return name
+}
+
+func (p *Parser) parseTopLevel(f *File) {
+	pos := p.tok.Pos
+	p.expectKeyword("int")
+	name := p.expectIdent()
+	if p.err != nil {
+		return
+	}
+	if p.isPunct("(") {
+		p.next()
+		fn := &FuncDecl{Pos: pos, Name: name}
+		if !p.isPunct(")") {
+			for {
+				p.expectKeyword("int")
+				fn.Params = append(fn.Params, p.expectIdent())
+				if p.err != nil {
+					return
+				}
+				if p.isPunct(",") {
+					p.next()
+					continue
+				}
+				break
+			}
+		}
+		p.expectPunct(")")
+		fn.Body = p.parseBlock()
+		f.Funcs = append(f.Funcs, fn)
+		return
+	}
+	// Global variable(s); allow "int a = 1, b;" at top level too.
+	for {
+		g := &GlobalDecl{Pos: pos, Name: name, Size: 1}
+		if p.isPunct("[") {
+			p.next()
+			g.IsArray = true
+			g.Size = p.parseConstExpr()
+			if p.err != nil {
+				return
+			}
+			if g.Size <= 0 {
+				p.fail("array %s has nonpositive size %d", name, g.Size)
+				return
+			}
+			p.expectPunct("]")
+		}
+		if p.isPunct("=") {
+			p.next()
+			p.parseGlobalInit(g)
+		}
+		f.Globals = append(f.Globals, g)
+		if p.err != nil {
+			return
+		}
+		if p.isPunct(",") {
+			p.next()
+			pos = p.tok.Pos
+			name = p.expectIdent()
+			continue
+		}
+		break
+	}
+	p.expectPunct(";")
+}
+
+func (p *Parser) parseGlobalInit(g *GlobalDecl) {
+	switch {
+	case p.tok.Kind == TokString:
+		if !g.IsArray {
+			p.fail("string initializer on scalar %s", g.Name)
+			return
+		}
+		for _, b := range p.tok.Str {
+			g.Init = append(g.Init, int64(b))
+		}
+		g.Init = append(g.Init, 0) // NUL terminator
+		if int64(len(g.Init)) > g.Size {
+			p.fail("string initializer longer than array %s", g.Name)
+			return
+		}
+		p.next()
+	case p.isPunct("{"):
+		if !g.IsArray {
+			p.fail("brace initializer on scalar %s", g.Name)
+			return
+		}
+		p.next()
+		for !p.isPunct("}") {
+			g.Init = append(g.Init, p.parseConstExpr())
+			if p.err != nil {
+				return
+			}
+			if p.isPunct(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+		p.expectPunct("}")
+		if int64(len(g.Init)) > g.Size {
+			p.fail("too many initializers for array %s", g.Name)
+		}
+	default:
+		if g.IsArray {
+			p.fail("array %s must use a brace or string initializer", g.Name)
+			return
+		}
+		g.Init = []int64{p.parseConstExpr()}
+	}
+}
+
+// parseConstExpr parses an expression and folds it to a constant.
+func (p *Parser) parseConstExpr() int64 {
+	pos := p.tok.Pos
+	e := p.parseExpr()
+	if p.err != nil {
+		return 0
+	}
+	v, ok := EvalConst(e)
+	if !ok {
+		p.err = errf(pos, "expression is not constant")
+		return 0
+	}
+	return v
+}
+
+// EvalConst folds an expression built from literals and pure operators to
+// a constant value.
+func EvalConst(e Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *IntLit:
+		return e.Val, true
+	case *UnaryExpr:
+		v, ok := EvalConst(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case "-":
+			return -v, true
+		case "~":
+			return ^v, true
+		case "!":
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *BinaryExpr:
+		l, ok := EvalConst(e.L)
+		if !ok {
+			return 0, false
+		}
+		r, ok := EvalConst(e.R)
+		if !ok {
+			return 0, false
+		}
+		return foldBinary(e.Op, l, r)
+	case *CondExpr:
+		c, ok := EvalConst(e.Cond)
+		if !ok {
+			return 0, false
+		}
+		if c != 0 {
+			return EvalConst(e.Then)
+		}
+		return EvalConst(e.Else)
+	default:
+		return 0, false
+	}
+}
+
+func foldBinary(op string, l, r int64) (int64, bool) {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case "+":
+		return l + r, true
+	case "-":
+		return l - r, true
+	case "*":
+		return l * r, true
+	case "/":
+		if r == 0 {
+			return 0, false
+		}
+		return l / r, true
+	case "%":
+		if r == 0 {
+			return 0, false
+		}
+		return l % r, true
+	case "&":
+		return l & r, true
+	case "|":
+		return l | r, true
+	case "^":
+		return l ^ r, true
+	case "<<":
+		return l << (uint64(r) & 63), true
+	case ">>":
+		return l >> (uint64(r) & 63), true
+	case "==":
+		return b2i(l == r), true
+	case "!=":
+		return b2i(l != r), true
+	case "<":
+		return b2i(l < r), true
+	case "<=":
+		return b2i(l <= r), true
+	case ">":
+		return b2i(l > r), true
+	case ">=":
+		return b2i(l >= r), true
+	case "&&":
+		return b2i(l != 0 && r != 0), true
+	case "||":
+		return b2i(l != 0 || r != 0), true
+	}
+	return 0, false
+}
+
+func (p *Parser) parseBlock() *BlockStmt {
+	pos := p.tok.Pos
+	p.expectPunct("{")
+	b := &BlockStmt{Pos: pos}
+	for p.err == nil && !p.isPunct("}") {
+		if p.tok.Kind == TokEOF {
+			p.fail("unexpected end of file in block")
+			return b
+		}
+		b.Stmts = append(b.Stmts, p.parseStmt())
+	}
+	p.expectPunct("}")
+	return b
+}
+
+func (p *Parser) parseStmt() Stmt {
+	pos := p.tok.Pos
+	switch {
+	case p.isPunct("{"):
+		return p.parseBlock()
+	case p.isPunct(";"):
+		p.next()
+		return &EmptyStmt{Pos: pos}
+	case p.isKeyword("int"):
+		return p.parseDecl()
+	case p.isKeyword("if"):
+		p.next()
+		p.expectPunct("(")
+		cond := p.parseExpr()
+		p.expectPunct(")")
+		then := p.parseStmt()
+		var els Stmt
+		if p.isKeyword("else") {
+			p.next()
+			els = p.parseStmt()
+		}
+		return &IfStmt{Pos: pos, Cond: cond, Then: then, Else: els}
+	case p.isKeyword("while"):
+		p.next()
+		p.expectPunct("(")
+		cond := p.parseExpr()
+		p.expectPunct(")")
+		return &WhileStmt{Pos: pos, Cond: cond, Body: p.parseStmt()}
+	case p.isKeyword("do"):
+		p.next()
+		body := p.parseStmt()
+		p.expectKeyword("while")
+		p.expectPunct("(")
+		cond := p.parseExpr()
+		p.expectPunct(")")
+		p.expectPunct(";")
+		return &DoWhileStmt{Pos: pos, Body: body, Cond: cond}
+	case p.isKeyword("for"):
+		p.next()
+		p.expectPunct("(")
+		st := &ForStmt{Pos: pos}
+		if !p.isPunct(";") {
+			st.Init = p.parseExpr()
+		}
+		p.expectPunct(";")
+		if !p.isPunct(";") {
+			st.Cond = p.parseExpr()
+		}
+		p.expectPunct(";")
+		if !p.isPunct(")") {
+			st.Post = p.parseExpr()
+		}
+		p.expectPunct(")")
+		st.Body = p.parseStmt()
+		return st
+	case p.isKeyword("switch"):
+		return p.parseSwitch()
+	case p.isKeyword("break"):
+		p.next()
+		p.expectPunct(";")
+		return &BreakStmt{Pos: pos}
+	case p.isKeyword("continue"):
+		p.next()
+		p.expectPunct(";")
+		return &ContinueStmt{Pos: pos}
+	case p.isKeyword("return"):
+		p.next()
+		st := &ReturnStmt{Pos: pos}
+		if !p.isPunct(";") {
+			st.X = p.parseExpr()
+		}
+		p.expectPunct(";")
+		return st
+	default:
+		x := p.parseExpr()
+		p.expectPunct(";")
+		return &ExprStmt{Pos: pos, X: x}
+	}
+}
+
+func (p *Parser) parseDecl() Stmt {
+	pos := p.tok.Pos
+	p.expectKeyword("int")
+	d := &DeclStmt{Pos: pos}
+	for {
+		name := p.expectIdent()
+		if p.err != nil {
+			return d
+		}
+		var init Expr
+		if p.isPunct("=") {
+			p.next()
+			init = p.parseAssign() // no comma operator inside declarators
+		}
+		d.Names = append(d.Names, name)
+		d.Inits = append(d.Inits, init)
+		if p.isPunct(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	p.expectPunct(";")
+	return d
+}
+
+func (p *Parser) parseSwitch() Stmt {
+	pos := p.tok.Pos
+	p.expectKeyword("switch")
+	p.expectPunct("(")
+	tag := p.parseExpr()
+	p.expectPunct(")")
+	p.expectPunct("{")
+	st := &SwitchStmt{Pos: pos, Tag: tag}
+	for p.err == nil && !p.isPunct("}") {
+		cpos := p.tok.Pos
+		c := &SwitchCase{Pos: cpos}
+		switch {
+		case p.isKeyword("case"):
+			p.next()
+			c.Value = p.parseConstExpr()
+			p.expectPunct(":")
+		case p.isKeyword("default"):
+			p.next()
+			c.IsDefault = true
+			p.expectPunct(":")
+		default:
+			p.fail("expected case or default, found %s", p.tok)
+			return st
+		}
+		for p.err == nil && !p.isPunct("}") && !p.isKeyword("case") && !p.isKeyword("default") {
+			c.Body = append(c.Body, p.parseStmt())
+		}
+		st.Cases = append(st.Cases, c)
+	}
+	p.expectPunct("}")
+	return st
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+var assignOps = map[string]string{
+	"=": "", "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+	"&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+// parseExpr parses a full expression (assignment level).
+func (p *Parser) parseExpr() Expr { return p.parseAssign() }
+
+func (p *Parser) parseAssign() Expr {
+	lhs := p.parseTernary()
+	if p.err != nil {
+		return lhs
+	}
+	if p.tok.Kind == TokPunct {
+		if op, ok := assignOps[p.tok.Text]; ok {
+			pos := p.tok.Pos
+			switch lhs.(type) {
+			case *Ident, *IndexExpr:
+			default:
+				p.fail("invalid assignment target")
+				return lhs
+			}
+			p.next()
+			rhs := p.parseAssign() // right associative
+			return &AssignExpr{Pos: pos, Op: op, LHS: lhs, RHS: rhs}
+		}
+	}
+	return lhs
+}
+
+func (p *Parser) parseTernary() Expr {
+	cond := p.parseBinary(1)
+	if p.err != nil || !p.isPunct("?") {
+		return cond
+	}
+	pos := p.tok.Pos
+	p.next()
+	then := p.parseAssign()
+	p.expectPunct(":")
+	els := p.parseTernary()
+	return &CondExpr{Pos: pos, Cond: cond, Then: then, Else: els}
+}
+
+func (p *Parser) parseBinary(minPrec int) Expr {
+	lhs := p.parseUnary()
+	for p.err == nil && p.tok.Kind == TokPunct {
+		prec, ok := binPrec[p.tok.Text]
+		if !ok || prec < minPrec {
+			break
+		}
+		op := p.tok.Text
+		pos := p.tok.Pos
+		p.next()
+		rhs := p.parseBinary(prec + 1)
+		lhs = &BinaryExpr{Pos: pos, Op: op, L: lhs, R: rhs}
+	}
+	return lhs
+}
+
+func (p *Parser) parseUnary() Expr {
+	pos := p.tok.Pos
+	switch {
+	case p.isPunct("-") || p.isPunct("!") || p.isPunct("~"):
+		op := p.tok.Text
+		p.next()
+		return &UnaryExpr{Pos: pos, Op: op, X: p.parseUnary()}
+	case p.isPunct("+"):
+		p.next()
+		return p.parseUnary()
+	case p.isPunct("++") || p.isPunct("--"):
+		op := p.tok.Text
+		p.next()
+		x := p.parseUnary()
+		switch x.(type) {
+		case *Ident, *IndexExpr:
+		default:
+			p.fail("invalid %s operand", op)
+			return x
+		}
+		return &IncDecExpr{Pos: pos, Op: op, X: x}
+	default:
+		return p.parsePostfix()
+	}
+}
+
+func (p *Parser) parsePostfix() Expr {
+	x := p.parsePrimary()
+	for p.err == nil {
+		switch {
+		case p.isPunct("++") || p.isPunct("--"):
+			op := p.tok.Text
+			pos := p.tok.Pos
+			switch x.(type) {
+			case *Ident, *IndexExpr:
+			default:
+				p.fail("invalid %s operand", op)
+				return x
+			}
+			p.next()
+			x = &IncDecExpr{Pos: pos, Op: op, Postfix: true, X: x}
+		default:
+			return x
+		}
+	}
+	return x
+}
+
+func (p *Parser) parsePrimary() Expr {
+	pos := p.tok.Pos
+	switch {
+	case p.tok.Kind == TokInt:
+		v := p.tok.Val
+		p.next()
+		return &IntLit{Pos: pos, Val: v}
+	case p.tok.Kind == TokIdent:
+		name := p.tok.Text
+		p.next()
+		if name == "EOF" {
+			return &IntLit{Pos: pos, Val: -1}
+		}
+		switch {
+		case p.isPunct("("):
+			p.next()
+			call := &CallExpr{Pos: pos, Callee: name}
+			if !p.isPunct(")") {
+				for {
+					call.Args = append(call.Args, p.parseAssign())
+					if p.err != nil {
+						return call
+					}
+					if p.isPunct(",") {
+						p.next()
+						continue
+					}
+					break
+				}
+			}
+			p.expectPunct(")")
+			return call
+		case p.isPunct("["):
+			p.next()
+			idx := p.parseExpr()
+			p.expectPunct("]")
+			return &IndexExpr{Pos: pos, Arr: name, Index: idx}
+		default:
+			return &Ident{Pos: pos, Name: name}
+		}
+	case p.isPunct("("):
+		p.next()
+		x := p.parseExpr()
+		p.expectPunct(")")
+		return x
+	default:
+		p.fail("expected expression, found %s", p.tok)
+		return &IntLit{Pos: pos}
+	}
+}

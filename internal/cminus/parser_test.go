@@ -1,0 +1,255 @@
+package cminus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func parseOK(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v\nsource:\n%s", err, src)
+	}
+	return f
+}
+
+func TestParseGlobals(t *testing.T) {
+	f := parseOK(t, `
+int a;
+int b = 41 + 1;
+int arr[10];
+int init[4] = {1, 2, 3};
+int s[8] = "hi";
+int x = 1, y = -2;
+`)
+	if len(f.Globals) != 7 {
+		t.Fatalf("got %d globals, want 7", len(f.Globals))
+	}
+	if f.Globals[1].Init[0] != 42 {
+		t.Errorf("b init = %d, want 42", f.Globals[1].Init[0])
+	}
+	if !f.Globals[2].IsArray || f.Globals[2].Size != 10 {
+		t.Errorf("arr = %+v", f.Globals[2])
+	}
+	if got := f.Globals[4].Init; len(got) != 3 || got[0] != 'h' || got[1] != 'i' || got[2] != 0 {
+		t.Errorf("string init = %v", got)
+	}
+	if f.Globals[6].Init[0] != -2 {
+		t.Errorf("y init = %d, want -2", f.Globals[6].Init[0])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := parseOK(t, `int main() { return 1 + 2 * 3 - 4 / 2; }`)
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	v, ok := EvalConst(ret.X)
+	if !ok || v != 5 {
+		t.Errorf("1+2*3-4/2 = %d (ok=%v), want 5", v, ok)
+	}
+}
+
+func TestParseConstExprs(t *testing.T) {
+	tests := []struct {
+		src  string
+		want int64
+	}{
+		{"1 << 4", 16},
+		{"~0", -1},
+		{"!5", 0},
+		{"!0", 1},
+		{"(3 | 4) & 6", 6},
+		{"10 % 3", 1},
+		{"1 < 2", 1},
+		{"2 <= 1", 0},
+		{"1 && 2", 1},
+		{"0 || 0", 0},
+		{"1 ? 7 : 9", 7},
+		{"0 ? 7 : 9", 9},
+		{"-(-5)", 5},
+		{"'a' + 1", 'b'},
+		{"5 ^ 3", 6},
+		{"7 >> 1", 3},
+	}
+	for _, tt := range tests {
+		f := parseOK(t, "int x = "+tt.src+";")
+		if got := f.Globals[0].Init[0]; got != tt.want {
+			t.Errorf("%s = %d, want %d", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestParseStatementShapes(t *testing.T) {
+	f := parseOK(t, `
+int main() {
+	int i;
+	;
+	if (1) ; else ;
+	while (0) ;
+	do ; while (0);
+	for (i = 0; i < 3; i++) ;
+	for (;;) break;
+	switch (i) { case 1: break; default: break; }
+	{ { } }
+	return;
+}`)
+	stmts := f.Funcs[0].Body.Stmts
+	wantTypes := []Stmt{
+		&DeclStmt{}, &EmptyStmt{}, &IfStmt{}, &WhileStmt{}, &DoWhileStmt{},
+		&ForStmt{}, &ForStmt{}, &SwitchStmt{}, &BlockStmt{}, &ReturnStmt{},
+	}
+	if len(stmts) != len(wantTypes) {
+		t.Fatalf("got %d statements, want %d", len(stmts), len(wantTypes))
+	}
+	for i := range wantTypes {
+		if gotT, wantT := typeName(stmts[i]), typeName(wantTypes[i]); gotT != wantT {
+			t.Errorf("statement %d is %s, want %s", i, gotT, wantT)
+		}
+	}
+}
+
+func typeName(s Stmt) string {
+	switch s.(type) {
+	case *DeclStmt:
+		return "decl"
+	case *EmptyStmt:
+		return "empty"
+	case *IfStmt:
+		return "if"
+	case *WhileStmt:
+		return "while"
+	case *DoWhileStmt:
+		return "dowhile"
+	case *ForStmt:
+		return "for"
+	case *SwitchStmt:
+		return "switch"
+	case *BlockStmt:
+		return "block"
+	case *ReturnStmt:
+		return "return"
+	default:
+		return "?"
+	}
+}
+
+func TestParseDanglingElse(t *testing.T) {
+	f := parseOK(t, `int main() { if (1) if (2) return 1; else return 2; return 3; }`)
+	outer := f.Funcs[0].Body.Stmts[0].(*IfStmt)
+	if outer.Else != nil {
+		t.Error("else bound to outer if; must bind to inner")
+	}
+	inner := outer.Then.(*IfStmt)
+	if inner.Else == nil {
+		t.Error("inner if lost its else")
+	}
+}
+
+func TestParseSwitchFallthrough(t *testing.T) {
+	f := parseOK(t, `
+int main() {
+	switch (1) {
+	case 1:
+	case 2: return 1;
+	default: return 2;
+	}
+	return 0;
+}`)
+	sw := f.Funcs[0].Body.Stmts[0].(*SwitchStmt)
+	if len(sw.Cases) != 3 {
+		t.Fatalf("got %d cases, want 3", len(sw.Cases))
+	}
+	if len(sw.Cases[0].Body) != 0 {
+		t.Error("empty case arm should have no body")
+	}
+	if !sw.Cases[2].IsDefault {
+		t.Error("default arm not marked")
+	}
+	if sw.Cases[0].Value != 1 || sw.Cases[1].Value != 2 {
+		t.Error("case values wrong")
+	}
+}
+
+func TestParseAssignmentForms(t *testing.T) {
+	f := parseOK(t, `
+int a[4];
+int main() {
+	int x;
+	x = 1;
+	x += 2; x -= 3; x *= 4; x /= 5; x %= 6;
+	x &= 7; x |= 8; x ^= 9; x <<= 1; x >>= 1;
+	a[x] = x = 2;   // right associative
+	return x;
+}`)
+	body := f.Funcs[0].Body.Stmts
+	chain := body[len(body)-2].(*ExprStmt).X.(*AssignExpr)
+	if _, ok := chain.RHS.(*AssignExpr); !ok {
+		t.Error("a[x] = x = 2 should nest the inner assignment on the right")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"int main() { return }",             // missing expression then ;
+		"int main() { if 1 return 0; }",     // missing parens
+		"int main() { int 3; }",             // bad declarator
+		"int main() { x = ; }",              // missing rhs
+		"int main() { switch (1) { foo } }", // not case/default
+		"int main() { break }",              // missing ;
+		"int x = y;",                        // non-constant global init
+		"int a[0];",                         // nonpositive array
+		"int a[-3];",                        // negative array
+		"int s = \"x\";",                    // string on scalar
+		"int a[2] = {1, 2, 3};",             // too many initializers
+		"int main(",                         // truncated
+		"int main() { 5 ++; }",              // ++ on non-lvalue
+		"int main() { ++3; }",               // ++ on literal
+		"int main() { (a+b) = 1; }",         // assign to non-lvalue
+		"int main() { case 1: ; }",          // case outside switch
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+// Constant folding of randomly nested arithmetic must agree with direct
+// evaluation (a testing/quick property over the expression grammar).
+func TestEvalConstMatchesGo(t *testing.T) {
+	f := func(a, b, c int16, op1, op2 uint8) bool {
+		ops := []string{"+", "-", "*", "&", "|", "^"}
+		o1 := ops[int(op1)%len(ops)]
+		o2 := ops[int(op2)%len(ops)]
+		e := &BinaryExpr{
+			Op: o1,
+			L:  &IntLit{Val: int64(a)},
+			R: &BinaryExpr{
+				Op: o2,
+				L:  &IntLit{Val: int64(b)},
+				R:  &IntLit{Val: int64(c)},
+			},
+		}
+		got, ok := EvalConst(e)
+		if !ok {
+			return false
+		}
+		inner, _ := foldBinary(o2, int64(b), int64(c))
+		want, _ := foldBinary(o1, int64(a), inner)
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalConstRejectsNonConst(t *testing.T) {
+	e := &BinaryExpr{Op: "+", L: &IntLit{Val: 1}, R: &Ident{Name: "x"}}
+	if _, ok := EvalConst(e); ok {
+		t.Error("EvalConst folded an identifier")
+	}
+	div := &BinaryExpr{Op: "/", L: &IntLit{Val: 1}, R: &IntLit{Val: 0}}
+	if _, ok := EvalConst(div); ok {
+		t.Error("EvalConst folded division by zero")
+	}
+}

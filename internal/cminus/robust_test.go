@@ -1,0 +1,72 @@
+package cminus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The front end must never panic: arbitrary byte soup either lexes/parses
+// or returns an error.
+func TestFrontEndNeverPanics(t *testing.T) {
+	lex := func(src []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		LexAll(string(src))
+		return true
+	}
+	if err := quick.Check(lex, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Errorf("lexer panicked: %v", err)
+	}
+	parse := func(src []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		f, err := Parse(string(src))
+		if err == nil {
+			// Whatever parsed must also survive checking.
+			Check(f)
+		}
+		return true
+	}
+	if err := quick.Check(parse, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Errorf("parser panicked: %v", err)
+	}
+}
+
+// Structured fuzz: token soup assembled from valid fragments stresses the
+// parser's recovery paths more than raw bytes.
+func TestParserOnTokenSoup(t *testing.T) {
+	frags := []string{
+		"int", "main", "(", ")", "{", "}", "[", "]", ";", ",",
+		"if", "else", "while", "for", "switch", "case", "default",
+		"break", "continue", "return", "do",
+		"x", "y", "42", "'a'", `"s"`, "=", "==", "+", "-", "*", "/",
+		"&&", "||", "<", ">", "?", ":", "++", "--", "<<=",
+	}
+	seed := uint64(99)
+	next := func(n int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int((seed >> 33) % uint64(n))
+	}
+	for trial := 0; trial < 2000; trial++ {
+		var src string
+		for i := 0; i < 3+next(40); i++ {
+			src += frags[next(len(frags))] + " "
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			if f, err := Parse(src); err == nil {
+				Check(f)
+			}
+		}()
+	}
+}

@@ -1,0 +1,91 @@
+// Package cminus implements the front end for Mini-C, the C subset the
+// reproduction's workloads are written in. It stands in for the pcc-based
+// C front end used by vpo in the paper.
+//
+// The language, informally:
+//
+//	program    = { global | function } .
+//	global     = "int" ident [ "[" constexpr "]" ] [ "=" ginit ] ";" .
+//	ginit      = constexpr | "{" constexpr { "," constexpr } "}" | string .
+//	function   = "int" ident "(" [ "int" ident { "," "int" ident } ] ")" block .
+//	block      = "{" { decl | stmt } "}" .
+//	decl       = "int" ident [ "=" expr ] { "," ident [ "=" expr ] } ";" .
+//	stmt       = block | ";" | expr ";"
+//	           | "if" "(" expr ")" stmt [ "else" stmt ]
+//	           | "while" "(" expr ")" stmt
+//	           | "do" stmt "while" "(" expr ")" ";"
+//	           | "for" "(" [ expr ] ";" [ expr ] ";" [ expr ] ")" stmt
+//	           | "switch" "(" expr ")" "{" { switchcase } "}"
+//	           | "break" ";" | "continue" ";" | "return" [ expr ] ";" .
+//	switchcase = ( "case" constexpr | "default" ) ":" { stmt | decl } .
+//
+// Expressions support assignment (=, +=, -=, *=, /=, %=, &=, |=, ^=, <<=,
+// >>=), the conditional operator ?:, short-circuit || and &&, bitwise | ^ &,
+// comparisons, shifts, additive and multiplicative operators, unary - ! ~,
+// prefix/postfix ++ and --, calls, and array indexing. All values are
+// 64-bit signed integers; arrays are global only. The identifier EOF is a
+// predefined constant -1, and getchar(), putchar(c) and putint(n) are
+// built-in I/O functions.
+package cminus
+
+import "fmt"
+
+// TokKind classifies tokens.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt    // integer literal (value in Tok.Val)
+	TokString // string literal (decoded bytes in Tok.Str)
+	TokPunct  // operator or punctuation (text in Tok.Text)
+	TokKeyword
+)
+
+// Keywords of Mini-C.
+var keywords = map[string]bool{
+	"int": true, "if": true, "else": true, "while": true, "do": true,
+	"for": true, "switch": true, "case": true, "default": true,
+	"break": true, "continue": true, "return": true,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Tok is a single token.
+type Tok struct {
+	Kind TokKind
+	Text string // identifier, keyword, or punctuation text
+	Val  int64  // integer literal value
+	Str  []byte // decoded string literal
+	Pos  Pos
+}
+
+func (t Tok) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of file"
+	case TokInt:
+		return fmt.Sprintf("%d", t.Val)
+	case TokString:
+		return fmt.Sprintf("%q", t.Str)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// Error is a front-end diagnostic with a position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

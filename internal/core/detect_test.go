@@ -1,0 +1,398 @@
+package core
+
+import (
+	"testing"
+
+	"branchreorder/internal/ir"
+)
+
+// fixture builds hand-made CFGs for detector tests.
+type fixture struct {
+	p *ir.Program
+	f *ir.Func
+}
+
+func newFixture() *fixture {
+	p := &ir.Program{}
+	f := &ir.Func{Name: "main", NRegs: 4}
+	p.Funcs = append(p.Funcs, f)
+	return &fixture{p: p, f: f}
+}
+
+func (fx *fixture) block() *ir.Block { return fx.f.NewBlock() }
+
+// condBlock fills b with "cmp v, c; b<rel> taken else next".
+func condBlock(b *ir.Block, v ir.Reg, c int64, rel ir.Rel, taken, next *ir.Block) {
+	b.Insts = append(b.Insts, ir.Inst{Op: ir.Cmp, A: ir.R(v), B: ir.Imm(c)})
+	b.Term = ir.Term{Kind: ir.TermBr, Rel: rel, Taken: taken, Next: next}
+}
+
+// retBlock makes b return the constant v. The leading Mov gives exit
+// targets an instruction so flag analysis and tail duplication see
+// ordinary code.
+func retBlock(b *ir.Block, v int64) {
+	b.Insts = append(b.Insts, ir.Inst{Op: ir.Mov, Dst: 3, A: ir.Imm(v)})
+	b.Term = ir.Term{Kind: ir.TermRet, Val: ir.R(3)}
+}
+
+// chainEQ builds: head: if v==c0 -> t0; b1: if v==c1 -> t1; default d.
+func chainEQ(fx *fixture, v ir.Reg, consts ...int64) (conds []*ir.Block, exits []*ir.Block, def *ir.Block) {
+	def = fx.block()
+	for range consts {
+		conds = append(conds, fx.block())
+		exits = append(exits, fx.block())
+	}
+	for i, c := range consts {
+		next := def
+		if i+1 < len(conds) {
+			next = conds[i+1]
+		}
+		condBlock(conds[i], v, c, ir.EQ, exits[i], next)
+		retBlock(exits[i], int64(100+i))
+	}
+	retBlock(def, 999)
+	// Make the first condition the entry's successor.
+	entry := fx.f.Blocks[0]
+	if entry != conds[0] {
+		// Move cond[0] to entry position by prepending a goto.
+		newEntry := &ir.Block{ID: -1, Term: ir.Term{Kind: ir.TermGoto, Taken: conds[0]}}
+		_ = newEntry
+	}
+	return conds, exits, def
+}
+
+func detectOne(t *testing.T, fx *fixture) *Sequence {
+	t.Helper()
+	fx.f.SyncNextID()
+	seqs := Detect(fx.p, 0)
+	if len(seqs) != 1 {
+		t.Fatalf("detected %d sequences, want 1\n%s", len(seqs), fx.f.Dump())
+	}
+	return seqs[0]
+}
+
+func TestDetectEqChain(t *testing.T) {
+	fx := newFixture()
+	conds, exits, def := chainEQ(fx, 1, 10, 20, 30)
+	seq := detectOne(t, fx)
+	if seq.V != 1 {
+		t.Errorf("variable r%d, want r1", seq.V)
+	}
+	if len(seq.Conds) != 3 {
+		t.Fatalf("got %d conds, want 3: %v", len(seq.Conds), seq)
+	}
+	for i, want := range []Range{{10, 10}, {20, 20}, {30, 30}} {
+		if seq.Conds[i].R != want {
+			t.Errorf("cond %d range %v, want %v", i, seq.Conds[i].R, want)
+		}
+		if seq.Conds[i].Exit != exits[i] {
+			t.Errorf("cond %d exit wrong", i)
+		}
+	}
+	if seq.DefaultTarget != def {
+		t.Error("default target wrong")
+	}
+	if seq.Head != conds[0] {
+		t.Error("head wrong")
+	}
+	// Prof must be at the head.
+	if len(seq.Head.Insts) == 0 || seq.Head.Insts[0].Op != ir.Prof {
+		t.Error("head not instrumented")
+	}
+	if seq.OrigBranches() != 3 {
+		t.Errorf("OrigBranches = %d", seq.OrigBranches())
+	}
+}
+
+func TestDetectInequalityForms(t *testing.T) {
+	// if (v < 10) low; else if (v > 20) high; else mid.
+	fx := newFixture()
+	b0 := fx.block()
+	b1 := fx.block()
+	low := fx.block()
+	high := fx.block()
+	mid := fx.block()
+	condBlock(b0, 1, 10, ir.LT, low, b1)
+	condBlock(b1, 1, 20, ir.GT, high, mid)
+	retBlock(low, 1)
+	retBlock(high, 2)
+	retBlock(mid, 3)
+	seq := detectOne(t, fx)
+	if len(seq.Conds) != 2 {
+		t.Fatalf("got %d conds: %v", len(seq.Conds), seq)
+	}
+	if seq.Conds[0].R != (Range{ir.MinVal, 9}) {
+		t.Errorf("first range %v", seq.Conds[0].R)
+	}
+	if seq.Conds[1].R != (Range{21, ir.MaxVal}) {
+		t.Errorf("second range %v", seq.Conds[1].R)
+	}
+	if seq.DefaultTarget != mid {
+		t.Error("default target should be the mid block")
+	}
+	// Arms: two explicit + one gap [10..20].
+	seq.BuildArms()
+	if len(seq.Arms) != 3 {
+		t.Fatalf("got %d arms", len(seq.Arms))
+	}
+	if seq.Arms[2].R != (Range{10, 20}) {
+		t.Errorf("gap arm %v", seq.Arms[2].R)
+	}
+}
+
+func TestDetectForm4BothPolarities(t *testing.T) {
+	// Polarity A: bLT exits to common (else), second block bLE exits to
+	// the target: if (v >= 10 && v <= 20) in;
+	fx := newFixture()
+	b0 := fx.block()
+	b1 := fx.block()
+	in := fx.block()
+	other := fx.block()
+	def := fx.block()
+	condBlock(b0, 1, 10, ir.LT, other, b1)
+	condBlock(b1, 1, 20, ir.LE, in, other)
+	condBlock(other, 1, 99, ir.EQ, def, def)
+	// make 'other' a real second condition so a sequence forms:
+	other.Insts = other.Insts[:0]
+	other.Term = ir.Term{}
+	exit99 := fx.block()
+	condBlock(other, 1, 99, ir.EQ, exit99, def)
+	retBlock(in, 1)
+	retBlock(exit99, 2)
+	retBlock(def, 3)
+	seq := detectOne(t, fx)
+	if len(seq.Conds) != 2 {
+		t.Fatalf("got %d conds: %v\n%s", len(seq.Conds), seq, fx.f.Dump())
+	}
+	first := seq.Conds[0]
+	if first.R != (Range{10, 20}) || len(first.Blocks) != 2 {
+		t.Errorf("Form 4 condition not detected: %v blocks=%d", first.R, len(first.Blocks))
+	}
+	if first.Exit != in {
+		t.Error("Form 4 exit wrong")
+	}
+	if first.NumBranches() != 2 {
+		t.Error("Form 4 must count two branches")
+	}
+
+	// Polarity B: bGE continues into the pair's second block.
+	fx2 := newFixture()
+	c0 := fx2.block()
+	c1 := fx2.block()
+	in2 := fx2.block()
+	n2 := fx2.block()
+	e2 := fx2.block()
+	d2 := fx2.block()
+	condBlock(c0, 1, 10, ir.GE, c1, n2)
+	condBlock(c1, 1, 20, ir.LE, in2, n2)
+	condBlock(n2, 1, 5, ir.EQ, e2, d2)
+	retBlock(in2, 1)
+	retBlock(e2, 2)
+	retBlock(d2, 3)
+	seq2 := detectOne(t, fx2)
+	if seq2.Conds[0].R != (Range{10, 20}) || len(seq2.Conds[0].Blocks) != 2 {
+		t.Errorf("polarity B not detected: %v", seq2)
+	}
+}
+
+func TestDetectSplitsHeadPrefix(t *testing.T) {
+	fx := newFixture()
+	head := fx.block()
+	b1 := fx.block()
+	e0 := fx.block()
+	e1 := fx.block()
+	def := fx.block()
+	// head: v = getchar(); cmp v, 10; beq e0 else b1
+	head.Insts = []ir.Inst{{Op: ir.GetChar, Dst: 1}}
+	condBlock(head, 1, 10, ir.EQ, e0, b1)
+	condBlock(b1, 1, 20, ir.EQ, e1, def)
+	retBlock(e0, 1)
+	retBlock(e1, 2)
+	retBlock(def, 3)
+	seq := detectOne(t, fx)
+	if seq.PreHead == nil {
+		t.Fatal("head prefix not split")
+	}
+	if seq.PreHead != head {
+		t.Error("prefix should stay in the original block")
+	}
+	if len(head.Insts) != 1 || head.Insts[0].Op != ir.GetChar {
+		t.Errorf("prefix block contents wrong: %v", head.Insts)
+	}
+	if head.Term.Kind != ir.TermGoto || head.Term.Taken != seq.Head {
+		t.Error("prefix must fall into the split head")
+	}
+	// Prof reads v after the getchar.
+	if seq.Head.Insts[0].Op != ir.Prof || seq.Head.Insts[0].A != ir.R(1) {
+		t.Error("instrumentation wrong after split")
+	}
+}
+
+func TestDetectRejectsMultiplePreds(t *testing.T) {
+	// The second condition has an extra predecessor: sequence must stop
+	// after... it cannot even start (only 1 cond).
+	fx := newFixture()
+	b0 := fx.block()
+	b1 := fx.block()
+	e0 := fx.block()
+	e1 := fx.block()
+	def := fx.block()
+	intruder := fx.block()
+	condBlock(b0, 1, 10, ir.EQ, e0, b1)
+	condBlock(b1, 1, 20, ir.EQ, e1, def)
+	// The intruder does real work before entering the middle of the
+	// sequence, so it cannot be attributed to the head.
+	intruder.Insts = []ir.Inst{{Op: ir.Mov, Dst: 2, A: ir.Imm(1)}}
+	intruder.Term = ir.Term{Kind: ir.TermGoto, Taken: b1}
+	// Keep the intruder reachable so it is not pruned before detection.
+	e0.Insts = []ir.Inst{{Op: ir.Mov, Dst: 2, A: ir.Imm(0)}}
+	e0.Term = ir.Term{Kind: ir.TermGoto, Taken: intruder}
+	retBlock(e1, 2)
+	retBlock(def, 3)
+	fx.f.SyncNextID()
+	seqs := Detect(fx.p, 0)
+	for _, s := range seqs {
+		for _, c := range s.Conds {
+			for _, blk := range c.Blocks {
+				if blk == b1 {
+					t.Fatalf("condition with external predecessor was consumed: %v", s)
+				}
+			}
+		}
+	}
+}
+
+func TestDetectRejectsFlagConsumingExit(t *testing.T) {
+	// The exit target consumes the sequence's condition codes: the whole
+	// interpretation must be rejected.
+	fx := newFixture()
+	b0 := fx.block()
+	b1 := fx.block()
+	flagUser := fx.block()
+	e1 := fx.block()
+	def := fx.block()
+	more := fx.block()
+	condBlock(b0, 1, 10, ir.EQ, flagUser, b1)
+	condBlock(b1, 1, 20, ir.EQ, e1, def)
+	// flagUser branches on inherited flags (no Cmp of its own).
+	flagUser.Term = ir.Term{Kind: ir.TermBr, Rel: ir.LT, Taken: more, Next: def}
+	retBlock(more, 1)
+	retBlock(e1, 2)
+	retBlock(def, 3)
+	fx.f.SyncNextID()
+	seqs := Detect(fx.p, 0)
+	for _, s := range seqs {
+		for _, c := range s.Conds {
+			if c.Exit == flagUser {
+				t.Fatalf("flag-consuming exit accepted: %v", s)
+			}
+		}
+	}
+}
+
+func TestDetectSideEffectsRecorded(t *testing.T) {
+	// An internal condition with a store prefix: the side effect must be
+	// recorded for sinking, and writing the branch variable must reject.
+	fx := newFixture()
+	fx.p.MemSize = 4
+	fx.p.Globals = []*ir.Global{{Name: "g", Addr: 0, Size: 4}}
+	b0 := fx.block()
+	b1 := fx.block()
+	e0 := fx.block()
+	e1 := fx.block()
+	def := fx.block()
+	condBlock(b0, 1, 10, ir.EQ, e0, b1)
+	b1.Insts = []ir.Inst{{Op: ir.St, A: ir.Imm(0), B: ir.Imm(7)}}
+	condBlock(b1, 1, 20, ir.EQ, e1, def)
+	retBlock(e0, 1)
+	retBlock(e1, 2)
+	retBlock(def, 3)
+	seq := detectOne(t, fx)
+	if len(seq.Conds) != 2 {
+		t.Fatalf("got %d conds", len(seq.Conds))
+	}
+	if len(seq.Conds[1].SideEffects) != 1 || seq.Conds[1].SideEffects[0].Op != ir.St {
+		t.Errorf("side effect not recorded: %+v", seq.Conds[1].SideEffects)
+	}
+
+	// Same shape, but the prefix writes the branch variable: the second
+	// condition cannot join the sequence.
+	fx2 := newFixture()
+	c0 := fx2.block()
+	c1 := fx2.block()
+	x0 := fx2.block()
+	x1 := fx2.block()
+	d2 := fx2.block()
+	condBlock(c0, 1, 10, ir.EQ, x0, c1)
+	c1.Insts = []ir.Inst{{Op: ir.Add, Dst: 1, A: ir.R(1), B: ir.Imm(1)}}
+	condBlock(c1, 1, 20, ir.EQ, x1, d2)
+	retBlock(x0, 1)
+	retBlock(x1, 2)
+	retBlock(d2, 3)
+	fx2.f.SyncNextID()
+	seqs := Detect(fx2.p, 0)
+	if len(seqs) != 0 {
+		t.Fatalf("sequence with branch-variable-writing side effect accepted: %v", seqs[0])
+	}
+}
+
+func TestDetectStopsAtOverlap(t *testing.T) {
+	// Third condition's range overlaps the first: chain must stop at 2.
+	fx := newFixture()
+	b0 := fx.block()
+	b1 := fx.block()
+	b2 := fx.block()
+	e0 := fx.block()
+	e1 := fx.block()
+	e2 := fx.block()
+	def := fx.block()
+	condBlock(b0, 1, 10, ir.LT, e0, b1) // [MIN..9]
+	condBlock(b1, 1, 20, ir.EQ, e1, b2) // [20]
+	condBlock(b2, 1, 5, ir.EQ, e2, def) // [5] overlaps [MIN..9]
+	retBlock(e0, 1)
+	retBlock(e1, 2)
+	retBlock(e2, 3)
+	retBlock(def, 4)
+	seq := detectOne(t, fx)
+	if len(seq.Conds) != 2 {
+		t.Fatalf("got %d conds, want 2 (overlap must stop the chain): %v", len(seq.Conds), seq)
+	}
+}
+
+func TestDetectMixedVariablesStops(t *testing.T) {
+	fx := newFixture()
+	b0 := fx.block()
+	b1 := fx.block()
+	e0 := fx.block()
+	e1 := fx.block()
+	def := fx.block()
+	condBlock(b0, 1, 10, ir.EQ, e0, b1)
+	condBlock(b1, 2, 20, ir.EQ, e1, def) // different register
+	retBlock(e0, 1)
+	retBlock(e1, 2)
+	retBlock(def, 3)
+	fx.f.SyncNextID()
+	if seqs := Detect(fx.p, 0); len(seqs) != 0 {
+		t.Fatalf("cross-variable sequence accepted: %v", seqs[0])
+	}
+}
+
+func TestDetectConstOnLeft(t *testing.T) {
+	// cmp 10, v with bGT means v < 10; the detector must transpose.
+	fx := newFixture()
+	b0 := fx.block()
+	b1 := fx.block()
+	e0 := fx.block()
+	e1 := fx.block()
+	def := fx.block()
+	b0.Insts = []ir.Inst{{Op: ir.Cmp, A: ir.Imm(10), B: ir.R(1)}}
+	b0.Term = ir.Term{Kind: ir.TermBr, Rel: ir.GT, Taken: e0, Next: b1}
+	condBlock(b1, 1, 20, ir.EQ, e1, def)
+	retBlock(e0, 1)
+	retBlock(e1, 2)
+	retBlock(def, 3)
+	seq := detectOne(t, fx)
+	if seq.Conds[0].R != (Range{ir.MinVal, 9}) {
+		t.Errorf("transposed range = %v, want [MIN..9]", seq.Conds[0].R)
+	}
+}

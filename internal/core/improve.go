@@ -1,0 +1,161 @@
+package core
+
+import "branchreorder/internal/ir"
+
+// Section 7 improvements, applied while deciding how each reordered range
+// condition is emitted:
+//
+//  1. Within a two-branch (Form 4) condition, the bound more likely to
+//     disqualify the value is tested first, using the probability mass of
+//     the ranges still possible at that point in the sequence.
+//
+//  2. Comparison constants are chosen among equivalent encodings (e.g.
+//     "> c" versus ">= c+1") so that adjacent conditions compare against
+//     the same constant whenever possible, letting the later redundant-
+//     comparison elimination pass (Figure 9) delete the second compare.
+
+// testSpec describes how one explicit arm is emitted: one compare for
+// single-value and half-unbounded ranges, two for bounded ranges. For a
+// two-test spec, the first test's branch *leaves* the condition (value
+// misses the near bound) and the second's branch takes the exit.
+type testSpec struct {
+	tests []cmpTest
+}
+
+type cmpTest struct {
+	konst int64
+	rel   ir.Rel
+}
+
+// singleCandidates returns the equivalent encodings of a one-compare
+// membership test for r (nil when r needs two compares).
+func singleCandidates(r Range) []cmpTest {
+	switch {
+	case r.Single():
+		return []cmpTest{{r.Lo, ir.EQ}}
+	case r.Lo == ir.MinVal:
+		out := []cmpTest{{r.Hi, ir.LE}}
+		if r.Hi < ir.MaxVal {
+			out = append(out, cmpTest{r.Hi + 1, ir.LT})
+		}
+		return out
+	case r.Hi == ir.MaxVal:
+		out := []cmpTest{{r.Lo, ir.GE}}
+		if r.Lo > ir.MinVal {
+			out = append(out, cmpTest{r.Lo - 1, ir.GT})
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// constSet collects the constants an arm could compare against first.
+func constSet(r Range) map[int64]bool {
+	out := map[int64]bool{}
+	for _, c := range singleCandidates(r) {
+		out[c.konst] = true
+	}
+	if r.BoundedBothEnds() {
+		out[r.Lo] = true
+		out[r.Hi] = true
+		if r.Lo > ir.MinVal {
+			out[r.Lo-1] = true
+		}
+		if r.Hi < ir.MaxVal {
+			out[r.Hi+1] = true
+		}
+	}
+	return out
+}
+
+// pickTest chooses among encodings: one whose constant matches the
+// previous comparison (enabling elimination of this compare), else one
+// whose constant the next arm can also use (enabling elimination of the
+// next compare), else the canonical first candidate.
+func pickTest(cands []cmpTest, prev *int64, next map[int64]bool) cmpTest {
+	if prev != nil {
+		for _, c := range cands {
+			if c.konst == *prev {
+				return c
+			}
+		}
+	}
+	if next != nil {
+		for _, c := range cands {
+			if next[c.konst] {
+				return c
+			}
+		}
+	}
+	return cands[0]
+}
+
+// buildSpecs computes the emission plan for the selected ordering.
+func buildSpecs(seq *Sequence, sel Ordering, topt TransformOptions) []testSpec {
+	specs := make([]testSpec, len(sel.Explicit))
+	var prev *int64
+	for i, armIdx := range sel.Explicit {
+		r := seq.Arms[armIdx].R
+		var nextConsts map[int64]bool
+		if !topt.NoCmpReuse && i+1 < len(sel.Explicit) {
+			nextConsts = constSet(seq.Arms[sel.Explicit[i+1]].R)
+		}
+		if cands := singleCandidates(r); cands != nil {
+			t := pickTest(cands, prev, nextConsts)
+			specs[i] = testSpec{tests: []cmpTest{t}}
+			if !topt.NoCmpReuse {
+				k := t.konst
+				prev = &k
+			}
+			continue
+		}
+		specs[i] = boundedSpec(seq, sel, i, r, prev, topt)
+		// Two different constants flow into the next arm; no reuse.
+		prev = nil
+	}
+	return specs
+}
+
+// boundedSpec emits a two-test bounded range condition, ordering the
+// bound checks by the probability that the value lies below versus above
+// the range at this point of the sequence (improvement 1).
+func boundedSpec(seq *Sequence, sel Ordering, pos int, r Range, prev *int64, topt TransformOptions) testSpec {
+	var pBelow, pAbove float64
+	consider := func(armIdx int) {
+		a := seq.Arms[armIdx]
+		switch {
+		case a.R.Hi < r.Lo:
+			pBelow += a.P
+		case a.R.Lo > r.Hi:
+			pAbove += a.P
+		}
+	}
+	for _, armIdx := range sel.Explicit[pos+1:] {
+		consider(armIdx)
+	}
+	for _, armIdx := range sel.Omitted {
+		consider(armIdx)
+	}
+
+	// Candidate encodings for each check. The "miss" test branches out
+	// of the condition; the "hit" test branches to the exit.
+	lowMiss := []cmpTest{{r.Lo, ir.LT}}
+	if r.Lo > ir.MinVal {
+		lowMiss = append(lowMiss, cmpTest{r.Lo - 1, ir.LE})
+	}
+	highMiss := []cmpTest{{r.Hi, ir.GT}}
+	if r.Hi < ir.MaxVal {
+		highMiss = append(highMiss, cmpTest{r.Hi + 1, ir.GE})
+	}
+	var first, second cmpTest
+	if topt.NoBoundOrder || pBelow >= pAbove {
+		// Test the lower bound first: values below leave immediately.
+		first = pickTest(lowMiss, prev, nil)
+		second = cmpTest{r.Hi, ir.LE} // hit test
+	} else {
+		first = pickTest(highMiss, prev, nil)
+		second = cmpTest{r.Lo, ir.GE}
+	}
+	return testSpec{tests: []cmpTest{first, second}}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"branchreorder/internal/ir"
+)
+
+// specSeq builds a fake sequence+ordering directly from arms so the
+// emission planner can be tested in isolation.
+func specsFor(arms []Arm) []testSpec {
+	seq := &Sequence{Arms: arms}
+	order := make([]int, len(arms))
+	for i := range order {
+		order[i] = i
+	}
+	return buildSpecs(seq, Ordering{Explicit: order}, TransformOptions{})
+}
+
+func TestSpecSingleValue(t *testing.T) {
+	specs := specsFor([]Arm{{R: Range{42, 42}}})
+	if len(specs) != 1 || len(specs[0].tests) != 1 {
+		t.Fatalf("specs = %+v", specs)
+	}
+	ts := specs[0].tests[0]
+	if ts.rel != ir.EQ || ts.konst != 42 {
+		t.Errorf("single-value test = %+v", ts)
+	}
+}
+
+func TestSpecHalfUnbounded(t *testing.T) {
+	specs := specsFor([]Arm{{R: Range{ir.MinVal, 9}}, {R: Range{100, ir.MaxVal}}})
+	lo := specs[0].tests[0]
+	if lo.rel != ir.LE || lo.konst != 9 {
+		t.Errorf("low-unbounded = %+v", lo)
+	}
+	hi := specs[1].tests[0]
+	if hi.rel != ir.GE || hi.konst != 100 {
+		t.Errorf("high-unbounded = %+v", hi)
+	}
+}
+
+// Figure 9's scenario: [c+1..MAX] followed by [c..c]; the second test
+// should pick constant c... and the first should be encoded as "> c" so
+// the flags carry over and the later pass can delete the second compare.
+func TestSpecConstantReuseFigure9(t *testing.T) {
+	const c = 57
+	specs := specsFor([]Arm{
+		{R: Range{c + 1, ir.MaxVal}},
+		{R: Range{c, c}},
+	})
+	first := specs[0].tests[0]
+	second := specs[1].tests[0]
+	if first.konst != c || first.rel != ir.GT {
+		t.Errorf("first test = %+v, want (> %d)", first, c)
+	}
+	if second.konst != c || second.rel != ir.EQ {
+		t.Errorf("second test = %+v, want (== %d)", second, c)
+	}
+}
+
+// The same reuse works for a low-unbounded range after an equality:
+// [c..c] then [MIN..c-1] should encode the second as "< c".
+func TestSpecConstantReuseLowSide(t *testing.T) {
+	const c = 31
+	specs := specsFor([]Arm{
+		{R: Range{c, c}},
+		{R: Range{ir.MinVal, c - 1}},
+	})
+	second := specs[1].tests[0]
+	if second.konst != c || second.rel != ir.LT {
+		t.Errorf("second test = %+v, want (< %d)", second, c)
+	}
+}
+
+func TestSpecBoundedOrderFollowsProbabilityMass(t *testing.T) {
+	// Remaining mass below the range: test the lower bound first.
+	armsBelow := []Arm{
+		{R: Range{50, 60}},
+		{R: Range{10, 10}, P: 0.9},   // below
+		{R: Range{100, 100}, P: 0.1}, // above
+	}
+	specs := specsFor(armsBelow)
+	first := specs[0].tests[0]
+	if first.rel != ir.LT || first.konst != 50 {
+		t.Errorf("below-heavy: first test = %+v, want (< 50)", first)
+	}
+	second := specs[0].tests[1]
+	if second.rel != ir.LE || second.konst != 60 {
+		t.Errorf("below-heavy: second test = %+v, want (<= 60)", second)
+	}
+
+	// Remaining mass above: test the upper bound first.
+	armsAbove := []Arm{
+		{R: Range{50, 60}},
+		{R: Range{10, 10}, P: 0.1},
+		{R: Range{100, 100}, P: 0.9},
+	}
+	specs = specsFor(armsAbove)
+	first = specs[0].tests[0]
+	if first.rel != ir.GT || first.konst != 60 {
+		t.Errorf("above-heavy: first test = %+v, want (> 60)", first)
+	}
+	second = specs[0].tests[1]
+	if second.rel != ir.GE || second.konst != 50 {
+		t.Errorf("above-heavy: second test = %+v, want (>= 50)", second)
+	}
+}
+
+// Omitted arms count toward the probability mass seen by bound ordering.
+func TestSpecBoundedOrderSeesOmittedMass(t *testing.T) {
+	seq := &Sequence{Arms: []Arm{
+		{R: Range{50, 60}},
+		{R: Range{100, 100}, P: 0.95},
+	}}
+	specs := buildSpecs(seq, Ordering{Explicit: []int{0}, Omitted: []int{1}}, TransformOptions{})
+	if specs[0].tests[0].rel != ir.GT {
+		t.Errorf("omitted mass ignored: %+v", specs[0].tests[0])
+	}
+}
+
+// All spec encodings must be semantically correct: the two-test protocol
+// (first test branches out on miss, second branches to exit on hit) must
+// accept exactly the range, and single tests must match Contains.
+func TestSpecEncodingsCorrect(t *testing.T) {
+	ranges := []Range{
+		{5, 5},
+		{ir.MinVal, 7},
+		{7, ir.MaxVal},
+		{3, 9},
+		{-4, 4},
+		{0, 0},
+		{ir.MinVal, ir.MinVal},
+		{ir.MaxVal, ir.MaxVal},
+	}
+	for _, r := range ranges {
+		specs := specsFor([]Arm{{R: r}})
+		spec := specs[0]
+		for _, v := range []int64{ir.MinVal, -5, -4, -1, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, ir.MaxVal} {
+			got := evalSpec(spec, v)
+			if got != r.Contains(v) {
+				t.Errorf("range %v value %d: spec says %v, want %v (spec %+v)",
+					r, v, got, r.Contains(v), spec)
+			}
+		}
+	}
+}
+
+// evalSpec interprets a testSpec the way emitChain wires it.
+func evalSpec(s testSpec, v int64) bool {
+	if len(s.tests) == 1 {
+		return s.tests[0].rel.Holds(v, s.tests[0].konst)
+	}
+	if s.tests[0].rel.Holds(v, s.tests[0].konst) {
+		return false // miss: branch out
+	}
+	return s.tests[1].rel.Holds(v, s.tests[1].konst)
+}

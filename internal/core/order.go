@@ -1,0 +1,240 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// Arm is one candidate range condition for the ordering decision: an
+// explicit range condition from the original sequence or a default range
+// that may be made explicit (paper Section 5, Figure 7).
+type Arm struct {
+	R        Range
+	Target   int     // key identifying the exit target
+	P        float64 // probability this range exits the sequence (Def. 9)
+	C        float64 // cost of testing the range condition (Def. 10)
+	Explicit bool    // explicitly checked in the original sequence
+
+	// MustTest forbids leaving the arm untested. The transformation sets
+	// it on explicit arms followed by side-effect-carrying conditions,
+	// whose omission would execute the wrong side effects on the shared
+	// fall-through edge.
+	MustTest bool
+}
+
+// Ordering is a selected test order: the arms in Explicit are tested in
+// order; the arms in Omitted are never tested and exit through the final
+// fall-through to the default target. All omitted arms share a target.
+type Ordering struct {
+	Explicit      []int // indices into the arms slice
+	Omitted       []int // indices into the arms slice
+	DefaultTarget int   // target of the omitted arms (-1 if none omitted)
+	Cost          float64
+}
+
+// SeqCost evaluates the complete expected cost of an ordering from first
+// principles (Equations 1 and 2): each explicitly tested arm contributes
+// its exit probability times the cost of it and all preceding arms, and
+// the omitted probability mass pays for every explicit test.
+func SeqCost(arms []Arm, explicit, omitted []int) float64 {
+	var cost, prefix float64
+	for _, i := range explicit {
+		prefix += arms[i].C
+		cost += arms[i].P * prefix
+	}
+	var omittedP float64
+	for _, i := range omitted {
+		omittedP += arms[i].P
+	}
+	return cost + omittedP*prefix
+}
+
+// sortByRatio returns arm indices in descending P/C order (Theorem 3: an
+// explicit sequence is optimally ordered when p_i/c_i >= p_j/c_j for i
+// before j). Ties break toward the original index for determinism.
+func sortByRatio(arms []Arm) []int {
+	idx := make([]int, len(arms))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ra := arms[idx[a]].P / arms[idx[a]].C
+		rb := arms[idx[b]].P / arms[idx[b]].C
+		if ra != rb {
+			return ra > rb
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// Select chooses the lowest-cost ordering using the paper's O(n log n)
+// procedure (Figure 8): sort all arms by descending P/C, compute the
+// all-explicit cost with Equation 1, then for each potential default
+// target incrementally un-check that target's arms from lowest P/C upward
+// using Equation 4, keeping the cheapest configuration seen.
+func Select(arms []Arm) Ordering {
+	if len(arms) == 0 {
+		return Ordering{DefaultTarget: -1}
+	}
+	order := sortByRatio(arms)
+
+	// Explicit_Cost with every arm checked (Equation 1; the default term
+	// of Equation 2 is zero because the arms cover the whole domain).
+	var explicitCost, prefix float64
+	for _, i := range order {
+		prefix += arms[i].C
+		explicitCost += arms[i].P * prefix
+	}
+
+	// tcost[k] = sum of C over sorted positions > k;
+	// tprob[k] = sum of P over sorted positions >= k.
+	n := len(order)
+	tcost := make([]float64, n+1)
+	tprob := make([]float64, n+1)
+	for k := n - 1; k >= 0; k-- {
+		tcost[k] = tcost[k+1] + arms[order[k]].C
+		tprob[k] = tprob[k+1] + arms[order[k]].P
+	}
+	// tcost[k] currently includes position k itself; Figure 8 defines
+	// tcost[i] = C[i+1] + ... + C[n].
+	for k := 0; k < n; k++ {
+		tcost[k] -= arms[order[k]].C
+	}
+
+	// Positions of each target's omittable arms, in ascending P/C
+	// (descending sorted position).
+	posByTarget := map[int][]int{}
+	for pos := n - 1; pos >= 0; pos-- {
+		if arms[order[pos]].MustTest {
+			continue
+		}
+		t := arms[order[pos]].Target
+		posByTarget[t] = append(posByTarget[t], pos)
+	}
+
+	best := Ordering{
+		Explicit:      append([]int(nil), order...),
+		DefaultTarget: -1,
+		Cost:          explicitCost,
+	}
+	targets := make([]int, 0, len(posByTarget))
+	for t := range posByTarget {
+		targets = append(targets, t)
+	}
+	sort.Ints(targets)
+	for _, target := range targets {
+		cost := explicitCost
+		elim := 0.0
+		omitted := make([]int, 0, len(posByTarget[target]))
+		for _, pos := range posByTarget[target] {
+			i := order[pos]
+			cost += arms[i].P*(tcost[pos]-elim) - arms[i].C*tprob[pos]
+			elim += arms[i].C
+			omitted = append(omitted, i)
+			// Strictly cheaper wins; on a cost tie prefer testing fewer
+			// conditions (less static code, e.g. zero-probability arms).
+			better := cost < best.Cost-1e-12 ||
+				(cost < best.Cost+1e-12 && len(omitted) > len(best.Omitted))
+			if better {
+				best = Ordering{
+					Explicit:      removeAll(order, omitted),
+					Omitted:       append([]int(nil), omitted...),
+					DefaultTarget: target,
+					Cost:          cost,
+				}
+			}
+		}
+	}
+	return best
+}
+
+// removeAll returns order minus the given indices, preserving order.
+func removeAll(order, omit []int) []int {
+	skip := map[int]bool{}
+	for _, i := range omit {
+		skip[i] = true
+	}
+	out := make([]int, 0, len(order)-len(omit))
+	for _, i := range order {
+		if !skip[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelectExhaustive finds the true optimum by enumerating, for every
+// target, every subset of that target's arms as the omitted set, and every
+// permutation of the remaining arms. It exists as the testing oracle the
+// paper also implemented ("we also implemented an exhaustive approach...
+// our approach always selected the optimal sequence"). Exponential: use
+// only for small n.
+func SelectExhaustive(arms []Arm) Ordering {
+	n := len(arms)
+	best := Ordering{DefaultTarget: -1, Cost: math.Inf(1)}
+	armsByTarget := map[int][]int{}
+	for i, a := range arms {
+		if a.MustTest {
+			continue
+		}
+		armsByTarget[a.Target] = append(armsByTarget[a.Target], i)
+	}
+
+	consider := func(omitted []int, target int) {
+		skip := map[int]bool{}
+		for _, i := range omitted {
+			skip[i] = true
+		}
+		rest := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			if !skip[i] {
+				rest = append(rest, i)
+			}
+		}
+		permute(rest, func(perm []int) {
+			c := SeqCost(arms, perm, omitted)
+			if c < best.Cost-1e-12 {
+				best = Ordering{
+					Explicit:      append([]int(nil), perm...),
+					Omitted:       append([]int(nil), omitted...),
+					DefaultTarget: target,
+					Cost:          c,
+				}
+			}
+		})
+	}
+
+	consider(nil, -1)
+	for target, idxs := range armsByTarget {
+		m := len(idxs)
+		for mask := 1; mask < 1<<m; mask++ {
+			var omitted []int
+			for b := 0; b < m; b++ {
+				if mask&(1<<b) != 0 {
+					omitted = append(omitted, idxs[b])
+				}
+			}
+			consider(omitted, target)
+		}
+	}
+	return best
+}
+
+// permute calls fn with every permutation of s (in place; fn must not
+// retain the slice).
+func permute(s []int, fn func([]int)) {
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(s) {
+			fn(s)
+			return
+		}
+		for i := k; i < len(s); i++ {
+			s[k], s[i] = s[i], s[k]
+			rec(k + 1)
+			s[k], s[i] = s[i], s[k]
+		}
+	}
+	rec(0)
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomArms builds a normalized arm set: probabilities sum to 1, costs
+// are 2 or 4, and targets are drawn from a small pool so several arms can
+// share one (as default ranges of a target do).
+func randomArms(rng *rand.Rand, n, ntargets int) []Arm {
+	arms := make([]Arm, n)
+	var total float64
+	for i := range arms {
+		w := rng.Float64()
+		if rng.Intn(5) == 0 {
+			w = 0 // never-observed ranges happen in real profiles
+		}
+		arms[i] = Arm{
+			R:        Range{int64(i * 10), int64(i*10) + rng.Int63n(5)},
+			Target:   rng.Intn(ntargets),
+			P:        w,
+			C:        float64(2 + 2*rng.Intn(2)),
+			Explicit: rng.Intn(2) == 0,
+		}
+		total += w
+	}
+	if total == 0 {
+		arms[0].P = 1
+		total = 1
+	}
+	for i := range arms {
+		arms[i].P /= total
+	}
+	return arms
+}
+
+func TestSeqCostTwoArms(t *testing.T) {
+	arms := []Arm{
+		{P: 0.7, C: 2, Target: 0},
+		{P: 0.3, C: 2, Target: 1},
+	}
+	got := SeqCost(arms, []int{0, 1}, nil)
+	want := 0.7*2 + 0.3*4
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("SeqCost = %v, want %v", got, want)
+	}
+	// Omit arm 1: its mass pays for the single explicit test.
+	got = SeqCost(arms, []int{0}, []int{1})
+	want = 0.7*2 + 0.3*2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("SeqCost with omission = %v, want %v", got, want)
+	}
+}
+
+// Theorem 3: for two explicit arms, [Ri,Rj] is optimal iff pi/ci >= pj/cj.
+func TestTheorem3TwoArms(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 1000; trial++ {
+		a := Arm{P: rng.Float64(), C: float64(2 + rng.Intn(3))}
+		b := Arm{P: rng.Float64(), C: float64(2 + rng.Intn(3))}
+		arms := []Arm{a, b}
+		c01 := SeqCost(arms, []int{0, 1}, nil)
+		c10 := SeqCost(arms, []int{1, 0}, nil)
+		if a.P/a.C >= b.P/b.C {
+			if c01 > c10+1e-12 {
+				t.Fatalf("ratio order not optimal: %+v %+v", a, b)
+			}
+		} else if c10 > c01+1e-12 {
+			t.Fatalf("ratio order not optimal (swapped): %+v %+v", a, b)
+		}
+	}
+}
+
+// The incremental Figure 8 cost bookkeeping must agree with the direct
+// Equation 1/2 evaluation of the ordering it returns.
+func TestSelectCostConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		arms := randomArms(rng, 1+rng.Intn(10), 1+rng.Intn(4))
+		got := Select(arms)
+		direct := SeqCost(arms, got.Explicit, got.Omitted)
+		if math.Abs(got.Cost-direct) > 1e-9 {
+			t.Fatalf("trial %d: incremental cost %v != direct %v (%+v)", trial, got.Cost, direct, got)
+		}
+		// Structural sanity: explicit+omitted partition the arms, and all
+		// omitted arms share DefaultTarget.
+		seen := map[int]bool{}
+		for _, i := range append(append([]int(nil), got.Explicit...), got.Omitted...) {
+			if seen[i] {
+				t.Fatalf("trial %d: arm %d appears twice", trial, i)
+			}
+			seen[i] = true
+		}
+		if len(seen) != len(arms) {
+			t.Fatalf("trial %d: partition covers %d of %d arms", trial, len(seen), len(arms))
+		}
+		for _, i := range got.Omitted {
+			if arms[i].Target != got.DefaultTarget {
+				t.Fatalf("trial %d: omitted arm %d has target %d, default is %d",
+					trial, i, arms[i].Target, got.DefaultTarget)
+			}
+		}
+	}
+}
+
+// The paper reports their heuristic always matched the exhaustive optimum
+// on their benchmarks; verify on random inputs.
+func TestSelectMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(6) // keep permutations tractable
+		arms := randomArms(rng, n, 1+rng.Intn(3))
+		fast := Select(arms)
+		slow := SelectExhaustive(arms)
+		if fast.Cost > slow.Cost+1e-9 {
+			t.Fatalf("trial %d: Select cost %v worse than exhaustive %v\narms=%+v\nfast=%+v\nslow=%+v",
+				trial, fast.Cost, slow.Cost, arms, fast, slow)
+		}
+	}
+}
+
+// Select must never be worse than testing everything explicitly in
+// descending P/C order, and never worse than the original order.
+func TestSelectUpperBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 1000; trial++ {
+		arms := randomArms(rng, 2+rng.Intn(8), 1+rng.Intn(4))
+		sel := Select(arms)
+		allExplicit := sortByRatio(arms)
+		if c := SeqCost(arms, allExplicit, nil); sel.Cost > c+1e-9 {
+			t.Fatalf("trial %d: Select %v worse than all-explicit %v", trial, sel.Cost, c)
+		}
+		var original []int
+		for i := range arms {
+			original = append(original, i)
+		}
+		if c := SeqCost(arms, original, nil); sel.Cost > c+1e-9 {
+			t.Fatalf("trial %d: Select %v worse than original %v", trial, sel.Cost, c)
+		}
+	}
+}
+
+func TestSelectEmptyAndSingle(t *testing.T) {
+	if got := Select(nil); len(got.Explicit) != 0 || got.Cost != 0 {
+		t.Errorf("Select(nil) = %+v", got)
+	}
+	arms := []Arm{{P: 1, C: 2, Target: 7}}
+	got := Select(arms)
+	// A single arm is cheapest fully omitted: control just falls to it.
+	if len(got.Omitted) != 1 || got.DefaultTarget != 7 || got.Cost != 0 {
+		t.Errorf("Select(single) = %+v, want fully omitted", got)
+	}
+}
+
+func TestSelectPrefersCheapHighProbabilityFirst(t *testing.T) {
+	// Three targets so nothing can be omitted for free; the cheap, likely
+	// arm must be tested first.
+	arms := []Arm{
+		{P: 0.1, C: 4, Target: 0},
+		{P: 0.6, C: 2, Target: 1},
+		{P: 0.3, C: 2, Target: 2},
+	}
+	got := Select(arms)
+	if len(got.Explicit) == 0 || got.Explicit[0] != 1 {
+		t.Errorf("expected arm 1 first, got %+v", got)
+	}
+}

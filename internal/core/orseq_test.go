@@ -1,0 +1,285 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"branchreorder/internal/interp"
+	"branchreorder/internal/ir"
+)
+
+// buildOrProgram makes: a = getchar(); b = getchar();
+// if (a == 1 || b == 2 || a > 50) ret 111; else ret 222;
+// lowered the way the front end would: three compare-and-branch blocks
+// with a common successor.
+func buildOrProgram() *ir.Program {
+	p := &ir.Program{}
+	f := &ir.Func{Name: "main", NRegs: 4}
+	p.Funcs = append(p.Funcs, f)
+	h := f.NewBlock()
+	c2 := f.NewBlock()
+	c3 := f.NewBlock()
+	common := f.NewBlock()
+	fall := f.NewBlock()
+	h.Insts = []ir.Inst{
+		{Op: ir.GetChar, Dst: 1},
+		{Op: ir.GetChar, Dst: 2},
+		{Op: ir.Cmp, A: ir.R(1), B: ir.Imm(1)},
+	}
+	h.Term = ir.Term{Kind: ir.TermBr, Rel: ir.EQ, Taken: common, Next: c2}
+	c2.Insts = []ir.Inst{{Op: ir.Cmp, A: ir.R(2), B: ir.Imm(2)}}
+	c2.Term = ir.Term{Kind: ir.TermBr, Rel: ir.EQ, Taken: common, Next: c3}
+	c3.Insts = []ir.Inst{{Op: ir.Cmp, A: ir.R(1), B: ir.Imm(50)}}
+	c3.Term = ir.Term{Kind: ir.TermBr, Rel: ir.GT, Taken: common, Next: fall}
+	retBlock(common, 111)
+	retBlock(fall, 222)
+	return p
+}
+
+func TestDetectCommonSucc(t *testing.T) {
+	p := buildOrProgram()
+	seqs := DetectCommonSucc(p, 0, nil)
+	if len(seqs) != 1 {
+		t.Fatalf("detected %d or-sequences, want 1\n%s", len(seqs), p.Funcs[0].Dump())
+	}
+	s := seqs[0]
+	if len(s.Conds) != 3 {
+		t.Fatalf("got %d conds: %v", len(s.Conds), s)
+	}
+	if s.PreHead == nil {
+		t.Error("head prefix (the getchars) not split")
+	}
+	wantRels := []ir.Rel{ir.EQ, ir.EQ, ir.GT}
+	for i, c := range s.Conds {
+		if c.Rel != wantRels[i] {
+			t.Errorf("cond %d rel = %v, want %v", i, c.Rel, wantRels[i])
+		}
+	}
+	if s.Common.Term.Kind != ir.TermRet || s.Fall.Term.Kind != ir.TermRet {
+		t.Error("common/fall wrong")
+	}
+	// Instrumentation: three ProfConds at the head.
+	n := 0
+	for i := range s.Head.Insts {
+		if s.Head.Insts[i].Op == ir.ProfCond {
+			if s.Head.Insts[i].Sub != n {
+				t.Errorf("ProfCond %d has Sub %d", n, s.Head.Insts[i].Sub)
+			}
+			n++
+		}
+	}
+	if n != 3 {
+		t.Errorf("found %d ProfConds, want 3", n)
+	}
+}
+
+func TestDetectCommonSuccAndChain(t *testing.T) {
+	// An && chain: if (a >= 1 && b >= 2) T else F. Both branches send
+	// their failure side to F: F is the common successor.
+	p := &ir.Program{}
+	f := &ir.Func{Name: "main", NRegs: 4}
+	p.Funcs = append(p.Funcs, f)
+	h := f.NewBlock()
+	c2 := f.NewBlock()
+	tBlk := f.NewBlock()
+	fBlk := f.NewBlock()
+	h.Insts = []ir.Inst{
+		{Op: ir.GetChar, Dst: 1},
+		{Op: ir.GetChar, Dst: 2},
+		{Op: ir.Cmp, A: ir.R(1), B: ir.Imm(1)},
+	}
+	h.Term = ir.Term{Kind: ir.TermBr, Rel: ir.LT, Taken: fBlk, Next: c2}
+	c2.Insts = []ir.Inst{{Op: ir.Cmp, A: ir.R(2), B: ir.Imm(2)}}
+	c2.Term = ir.Term{Kind: ir.TermBr, Rel: ir.GE, Taken: tBlk, Next: fBlk}
+	retBlock(tBlk, 1)
+	retBlock(fBlk, 0)
+	seqs := DetectCommonSucc(p, 0, nil)
+	if len(seqs) != 1 {
+		t.Fatalf("&& chain not detected\n%s", f.Dump())
+	}
+	s := seqs[0]
+	if s.Common != fBlk || s.Fall != tBlk {
+		t.Errorf("common/fall wrong: common B%d fall B%d", s.Common.ID, s.Fall.ID)
+	}
+	// Normalized rels: exit-to-common when a < 1, and when b < 2.
+	if s.Conds[0].Rel != ir.LT || s.Conds[1].Rel != ir.LT {
+		t.Errorf("normalized rels = %v, %v", s.Conds[0].Rel, s.Conds[1].Rel)
+	}
+}
+
+func TestDetectCommonSuccRejectsSideEffects(t *testing.T) {
+	p := buildOrProgram()
+	// Insert a side effect into the middle condition block.
+	c2 := p.Funcs[0].Blocks[1]
+	c2.Insts = append([]ir.Inst{{Op: ir.PutChar, A: ir.Imm('x')}}, c2.Insts...)
+	seqs := DetectCommonSucc(p, 0, nil)
+	for _, s := range seqs {
+		if len(s.Conds) > 2 {
+			t.Fatalf("sequence crossed a side effect: %v", s)
+		}
+	}
+}
+
+func TestDetectCommonSuccRespectsConsumed(t *testing.T) {
+	p := buildOrProgram()
+	consumed := map[*ir.Block]bool{p.Funcs[0].Blocks[0]: true}
+	seqs := DetectCommonSucc(p, 0, consumed)
+	for _, s := range seqs {
+		for _, c := range s.Conds {
+			if consumed[c.Block] {
+				t.Fatal("consumed block reused")
+			}
+		}
+	}
+}
+
+func TestOrProfileCombos(t *testing.T) {
+	sp := &OrSeqProfile{N: 3, Combos: make([]uint64, 8)}
+	p := &OrProfile{Seqs: map[int]*OrSeqProfile{5: sp}}
+	hook := p.Hook()
+	commit := func(bits ...int64) {
+		for i, b := range bits {
+			hook(5, i, b)
+		}
+	}
+	commit(1, 0, 0) // mask 1
+	commit(1, 0, 0) // mask 1
+	commit(0, 1, 1) // mask 6
+	commit(0, 0, 0) // mask 0
+	if sp.Total != 4 {
+		t.Fatalf("total = %d", sp.Total)
+	}
+	if sp.Combos[1] != 2 || sp.Combos[6] != 1 || sp.Combos[0] != 1 {
+		t.Errorf("combos = %v", sp.Combos)
+	}
+	hook(99, 0, 1) // unknown ID ignored
+}
+
+func TestOrCostAndSelect(t *testing.T) {
+	// Condition 2 is true 90% of the time, condition 0 10%, condition 1
+	// never: optimal order tests 2 first.
+	sp := &OrSeqProfile{N: 3, Combos: make([]uint64, 8)}
+	sp.Combos[1<<2] = 90
+	sp.Combos[1<<0] = 10
+	sp.Total = 100
+	ident := OrCost(sp, []int{0, 1, 2})
+	// 10% exit after 1 test, 90% after 3 tests = 0.1 + 2.7 = 2.8.
+	if ident < 2.79 || ident > 2.81 {
+		t.Errorf("identity cost = %v, want 2.8", ident)
+	}
+	order, cost := SelectOr(sp)
+	// Best: test 2 first (0.9*1), then 0 (0.1*2) = 1.1.
+	if cost < 1.09 || cost > 1.11 {
+		t.Errorf("best cost = %v (order %v), want 1.1", cost, order)
+	}
+	if order[0] != 2 {
+		t.Errorf("best order %v should test condition 2 first", order)
+	}
+}
+
+// SelectOr must match brute force on random joint distributions (it is
+// exhaustive, so this checks the cost bookkeeping stays consistent).
+func TestSelectOrNeverWorseThanIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(4)
+		sp := &OrSeqProfile{N: n, Combos: make([]uint64, 1<<n)}
+		for i := range sp.Combos {
+			c := uint64(rng.Intn(50))
+			sp.Combos[i] = c
+			sp.Total += c
+		}
+		if sp.Total == 0 {
+			continue
+		}
+		ident := make([]int, n)
+		for i := range ident {
+			ident[i] = i
+		}
+		_, cost := SelectOr(sp)
+		if cost > OrCost(sp, ident)+1e-9 {
+			t.Fatalf("trial %d: SelectOr worse than identity", trial)
+		}
+	}
+}
+
+func TestReorderOrPreservesSemantics(t *testing.T) {
+	p := buildOrProgram()
+	ref := ir.CloneProgram(p)
+	ref.Linearize()
+
+	seqs := DetectCommonSucc(p, 0, nil)
+	if len(seqs) != 1 {
+		t.Fatal("detection failed")
+	}
+	prof := NewOrProfile(seqs)
+	p.Linearize()
+	// Training input: mostly a>50 (third condition), so it should lead.
+	var train []byte
+	for i := 0; i < 100; i++ {
+		train = append(train, 60, 0)
+	}
+	train = append(train, 1, 0, 0, 2)
+	m := &interp.Machine{Prog: p, Input: train, OnProf: prof.Hook()}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res := ReorderOr(seqs[0], prof.Seqs[seqs[0].ID])
+	if !res.Applied {
+		t.Fatalf("not applied: %+v", res)
+	}
+	if res.Order[0] != 2 {
+		t.Errorf("order %v should lead with the hot condition", res.Order)
+	}
+	StripProf(p)
+	p.Linearize()
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, p.Dump())
+	}
+	// Exhaustive-ish behavioural check over interesting (a, b) pairs.
+	for _, a := range []byte{0, 1, 2, 50, 51, 200} {
+		for _, b := range []byte{0, 1, 2, 3} {
+			in := []byte{a, b}
+			mr := &interp.Machine{Prog: ref, Input: in}
+			want, err := mr.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mp := &interp.Machine{Prog: p, Input: in}
+			got, err := mp.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("(a=%d,b=%d): got %d, want %d", a, b, got, want)
+			}
+		}
+	}
+	// The hot case must now run fewer branches than the original order.
+	hot := []byte{60, 0}
+	m1 := &interp.Machine{Prog: ref, Input: hot}
+	m1.Run()
+	m2 := &interp.Machine{Prog: p, Input: hot}
+	m2.Run()
+	if m2.Stats.CondBranches >= m1.Stats.CondBranches {
+		t.Errorf("hot path branches %d -> %d, want reduction",
+			m1.Stats.CondBranches, m2.Stats.CondBranches)
+	}
+}
+
+func TestReorderOrSkips(t *testing.T) {
+	p := buildOrProgram()
+	seqs := DetectCommonSucc(p, 0, nil)
+	sp := &OrSeqProfile{N: 3, Combos: make([]uint64, 8)}
+	res := ReorderOr(seqs[0], sp)
+	if res.Applied || res.Reason != ReasonNotExecuted {
+		t.Errorf("empty profile: %+v", res)
+	}
+	// Identity-optimal profile: first condition always true.
+	sp.Combos[1] = 100
+	sp.Total = 100
+	res = ReorderOr(seqs[0], sp)
+	if res.Applied {
+		t.Errorf("identity-optimal profile reordered: %+v", res)
+	}
+}

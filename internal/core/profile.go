@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BuildArms populates the sequence's ordering candidates: one arm per
+// explicit range condition (in original order) followed by one per default
+// range (Section 5, Figure 7). Must be called once after detection,
+// before profiling.
+func (s *Sequence) BuildArms() {
+	explicit := make([]Range, len(s.Conds))
+	for i, c := range s.Conds {
+		explicit[i] = c.R
+	}
+	s.Arms = s.Arms[:0]
+	s.ArmCond = s.ArmCond[:0]
+	// An explicit condition's arm may be left untested (omitted) only if
+	// no later condition carries side effects: the shared fall-through
+	// edge executes every sunk side effect, which is only correct for
+	// values that would have traversed the whole original sequence.
+	sideAfter := make([]bool, len(s.Conds)+1)
+	for i := len(s.Conds) - 1; i >= 0; i-- {
+		sideAfter[i] = sideAfter[i+1] || len(s.Conds[i].SideEffects) > 0
+	}
+	for i, c := range s.Conds {
+		s.Arms = append(s.Arms, Arm{
+			R:        c.R,
+			Target:   c.Exit.ID,
+			C:        float64(c.R.CondCost()),
+			Explicit: true,
+			MustTest: sideAfter[i+1],
+		})
+		s.ArmCond = append(s.ArmCond, i)
+	}
+	for _, g := range Gaps(explicit) {
+		s.Arms = append(s.Arms, Arm{
+			R:      g,
+			Target: s.DefaultTarget.ID,
+			C:      float64(g.CondCost()),
+		})
+		s.ArmCond = append(s.ArmCond, len(s.Conds))
+	}
+}
+
+// SeqProfile holds the training counts for one sequence: Counts is
+// parallel to Sequence.Arms.
+type SeqProfile struct {
+	Counts []uint64
+	Total  uint64
+}
+
+// Profile accumulates training-run counts for every detected sequence.
+type Profile struct {
+	Seqs map[int]*SeqProfile
+
+	lookup map[int]lookupTable
+}
+
+type lookupEntry struct {
+	r   Range
+	arm int
+}
+
+type lookupTable []lookupEntry
+
+// NewProfile prepares count storage for the given sequences (whose Arms
+// must be built).
+func NewProfile(seqs []*Sequence) *Profile {
+	p := &Profile{
+		Seqs:   make(map[int]*SeqProfile, len(seqs)),
+		lookup: make(map[int]lookupTable, len(seqs)),
+	}
+	for _, s := range seqs {
+		if len(s.Arms) == 0 {
+			panic(fmt.Sprintf("core: sequence %d has no arms; call BuildArms first", s.ID))
+		}
+		p.Seqs[s.ID] = &SeqProfile{Counts: make([]uint64, len(s.Arms))}
+		tbl := make(lookupTable, len(s.Arms))
+		for i, a := range s.Arms {
+			tbl[i] = lookupEntry{a.R, i}
+		}
+		sort.Slice(tbl, func(i, j int) bool { return tbl[i].r.Lo < tbl[j].r.Lo })
+		p.lookup[s.ID] = tbl
+	}
+	return p
+}
+
+// Hook returns the interpreter callback that attributes each execution of
+// a sequence head to the arm whose range contains the branch variable's
+// value. The arms of a sequence cover the whole domain, so every value
+// lands in exactly one arm. The sub index is unused for range-condition
+// sequences (common-successor sequences use OrProfile instead).
+func (p *Profile) Hook() func(seqID, sub int, v int64) {
+	return func(seqID, sub int, v int64) {
+		sp, ok := p.Seqs[seqID]
+		if !ok {
+			return
+		}
+		tbl := p.lookup[seqID]
+		// Binary search for the entry with the greatest Lo <= v.
+		idx := sort.Search(len(tbl), func(i int) bool { return tbl[i].r.Lo > v }) - 1
+		if idx < 0 || !tbl[idx].r.Contains(v) {
+			return // unreachable for covering arms; be defensive
+		}
+		sp.Counts[tbl[idx].arm]++
+		sp.Total++
+	}
+}
+
+// AttachProfile fills the arms' exit probabilities (Definition 9) from
+// the training counts. With a zero total every probability stays zero and
+// the caller skips the sequence, as the paper did for sequences the
+// training input never executed.
+func (s *Sequence) AttachProfile(sp *SeqProfile) {
+	if sp == nil || sp.Total == 0 {
+		for i := range s.Arms {
+			s.Arms[i].P = 0
+		}
+		return
+	}
+	for i := range s.Arms {
+		s.Arms[i].P = float64(sp.Counts[i]) / float64(sp.Total)
+	}
+}

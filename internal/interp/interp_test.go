@@ -1,0 +1,341 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"branchreorder/internal/ir"
+)
+
+// one-block main returning the result of a single binary op.
+func binProg(op ir.Op, a, b int64) *ir.Program {
+	p := &ir.Program{}
+	f := &ir.Func{Name: "main", NRegs: 1}
+	p.Funcs = append(p.Funcs, f)
+	blk := f.NewBlock()
+	blk.Insts = []ir.Inst{{Op: op, Dst: 0, A: ir.Imm(a), B: ir.Imm(b)}}
+	blk.Term = ir.Term{Kind: ir.TermRet, Val: ir.R(0)}
+	p.Linearize()
+	return p
+}
+
+func runRet(t *testing.T, p *ir.Program, input string) int64 {
+	t.Helper()
+	m := &Machine{Prog: p, Input: []byte(input)}
+	ret, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return ret
+}
+
+func TestArithmeticOpcodes(t *testing.T) {
+	cases := []struct {
+		op   ir.Op
+		a, b int64
+		want int64
+	}{
+		{ir.Add, 3, 4, 7},
+		{ir.Sub, 3, 4, -1},
+		{ir.Mul, -3, 4, -12},
+		{ir.Div, 7, 2, 3},
+		{ir.Div, -7, 2, -3}, // C-style truncation
+		{ir.Rem, 7, 3, 1},
+		{ir.Rem, -7, 3, -1},
+		{ir.And, 6, 3, 2},
+		{ir.Or, 6, 3, 7},
+		{ir.Xor, 6, 3, 5},
+		{ir.Shl, 1, 10, 1024},
+		{ir.Shr, -8, 1, -4}, // arithmetic shift
+	}
+	for _, c := range cases {
+		if got := runRet(t, binProg(c.op, c.a, c.b), ""); got != c.want {
+			t.Errorf("%v(%d,%d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestUnaryAndMov(t *testing.T) {
+	p := &ir.Program{}
+	f := &ir.Func{Name: "main", NRegs: 3}
+	p.Funcs = append(p.Funcs, f)
+	b := f.NewBlock()
+	b.Insts = []ir.Inst{
+		{Op: ir.Mov, Dst: 0, A: ir.Imm(5)},
+		{Op: ir.Neg, Dst: 1, A: ir.R(0)},
+		{Op: ir.Not, Dst: 2, A: ir.R(1)},
+	}
+	b.Term = ir.Term{Kind: ir.TermRet, Val: ir.R(2)}
+	p.Linearize()
+	if got := runRet(t, p, ""); got != 4 { // ^(-5) == 4
+		t.Errorf("got %d, want 4", got)
+	}
+}
+
+func TestTraps(t *testing.T) {
+	traps := []struct {
+		name string
+		prog *ir.Program
+	}{
+		{"div by zero", binProg(ir.Div, 1, 0)},
+		{"rem by zero", binProg(ir.Rem, 1, 0)},
+	}
+	for _, tt := range traps {
+		m := &Machine{Prog: tt.prog}
+		if _, err := m.Run(); err == nil {
+			t.Errorf("%s: no error", tt.name)
+		} else if _, ok := err.(*RuntimeError); !ok {
+			t.Errorf("%s: error type %T", tt.name, err)
+		}
+	}
+}
+
+func TestMemoryAndBounds(t *testing.T) {
+	p := &ir.Program{MemSize: 4}
+	p.Globals = append(p.Globals, &ir.Global{Name: "g", Addr: 0, Size: 4, Init: []int64{10, 20}})
+	f := &ir.Func{Name: "main", NRegs: 2}
+	p.Funcs = append(p.Funcs, f)
+	b := f.NewBlock()
+	b.Insts = []ir.Inst{
+		{Op: ir.Ld, Dst: 0, A: ir.Imm(1)},     // 20
+		{Op: ir.St, A: ir.Imm(2), B: ir.R(0)}, // g[2] = 20
+		{Op: ir.Ld, Dst: 1, A: ir.Imm(2)},     // 20
+		{Op: ir.Add, Dst: 0, A: ir.R(0), B: ir.R(1)},
+	}
+	b.Term = ir.Term{Kind: ir.TermRet, Val: ir.R(0)}
+	p.Linearize()
+	if got := runRet(t, p, ""); got != 40 {
+		t.Errorf("got %d, want 40", got)
+	}
+
+	// Out-of-bounds load traps.
+	bad := &ir.Program{MemSize: 2}
+	f2 := &ir.Func{Name: "main", NRegs: 1}
+	bad.Funcs = append(bad.Funcs, f2)
+	b2 := f2.NewBlock()
+	b2.Insts = []ir.Inst{{Op: ir.Ld, Dst: 0, A: ir.Imm(5)}}
+	b2.Term = ir.Term{Kind: ir.TermRet, Val: ir.R(0)}
+	bad.Linearize()
+	m := &Machine{Prog: bad}
+	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "load address") {
+		t.Errorf("OOB load: %v", err)
+	}
+}
+
+func TestIOAndEOF(t *testing.T) {
+	p := &ir.Program{}
+	f := &ir.Func{Name: "main", NRegs: 2}
+	p.Funcs = append(p.Funcs, f)
+	b := f.NewBlock()
+	b.Insts = []ir.Inst{
+		{Op: ir.GetChar, Dst: 0},
+		{Op: ir.PutChar, A: ir.R(0)},
+		{Op: ir.GetChar, Dst: 1}, // EOF
+		{Op: ir.PutInt, A: ir.R(1)},
+	}
+	b.Term = ir.Term{Kind: ir.TermRet, Val: ir.R(1)}
+	p.Linearize()
+	m := &Machine{Prog: p, Input: []byte("Z")}
+	ret, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != -1 {
+		t.Errorf("second getchar = %d, want -1", ret)
+	}
+	if m.Output.String() != "Z-1" {
+		t.Errorf("output %q, want %q", m.Output.String(), "Z-1")
+	}
+}
+
+func TestCallSemanticsAndCounts(t *testing.T) {
+	p := &ir.Program{}
+	callee := &ir.Func{Name: "inc", NParams: 1, NRegs: 2}
+	cb := callee.NewBlock()
+	cb.Insts = []ir.Inst{{Op: ir.Add, Dst: 1, A: ir.R(0), B: ir.Imm(1)}}
+	cb.Term = ir.Term{Kind: ir.TermRet, Val: ir.R(1)}
+	mainFn := &ir.Func{Name: "main", NRegs: 1}
+	mb := mainFn.NewBlock()
+	mb.Insts = []ir.Inst{{Op: ir.Call, Dst: 0, Callee: "inc", Args: []ir.Operand{ir.Imm(41)}}}
+	mb.Term = ir.Term{Kind: ir.TermRet, Val: ir.R(0)}
+	p.Funcs = []*ir.Func{mainFn, callee}
+	p.Linearize()
+
+	m := &Machine{Prog: p}
+	ret, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 42 {
+		t.Errorf("got %d, want 42", ret)
+	}
+	// main's call (1) + inc's add (1) + inc's ret (1) + main's ret (1)
+	// + the implicit call of main itself (1) = 5.
+	if m.Stats.Insts != 5 {
+		t.Errorf("Insts = %d, want 5", m.Stats.Insts)
+	}
+	if m.Stats.Calls != 2 { // main + inc
+		t.Errorf("Calls = %d, want 2", m.Stats.Calls)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p := &ir.Program{}
+	f := &ir.Func{Name: "main", NRegs: 1}
+	p.Funcs = append(p.Funcs, f)
+	b := f.NewBlock()
+	b.Term = ir.Term{Kind: ir.TermGoto, Taken: b} // infinite loop
+	p.Linearize()
+	m := &Machine{Prog: p, MaxSteps: 1000}
+	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("step limit not enforced: %v", err)
+	}
+}
+
+func TestBranchAccountingAndHook(t *testing.T) {
+	// for (i = 0; i < 5; i++) {} — one branch per iteration + exit.
+	p := &ir.Program{}
+	f := &ir.Func{Name: "main", NRegs: 1}
+	p.Funcs = append(p.Funcs, f)
+	entry := f.NewBlock()
+	head := f.NewBlock()
+	body := f.NewBlock()
+	exit := f.NewBlock()
+	entry.Insts = []ir.Inst{{Op: ir.Mov, Dst: 0, A: ir.Imm(0)}}
+	entry.Term = ir.Term{Kind: ir.TermGoto, Taken: head}
+	head.Insts = []ir.Inst{{Op: ir.Cmp, A: ir.R(0), B: ir.Imm(5)}}
+	head.Term = ir.Term{Kind: ir.TermBr, Rel: ir.GE, Taken: exit, Next: body}
+	body.Insts = []ir.Inst{{Op: ir.Add, Dst: 0, A: ir.R(0), B: ir.Imm(1)}}
+	body.Term = ir.Term{Kind: ir.TermGoto, Taken: head}
+	exit.Term = ir.Term{Kind: ir.TermRet, Val: ir.R(0)}
+	p.Linearize()
+
+	var events []bool
+	m := &Machine{Prog: p, OnBranch: func(id int, taken bool) { events = append(events, taken) }}
+	ret, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 5 {
+		t.Fatalf("ret = %d", ret)
+	}
+	if m.Stats.CondBranches != 6 {
+		t.Errorf("CondBranches = %d, want 6", m.Stats.CondBranches)
+	}
+	if m.Stats.TakenBranches != 1 {
+		t.Errorf("TakenBranches = %d, want 1 (the exit)", m.Stats.TakenBranches)
+	}
+	if len(events) != 6 || !events[5] {
+		t.Errorf("branch hook events = %v", events)
+	}
+	// The back-edge goto is a real jump each iteration.
+	if m.Stats.Jumps == 0 {
+		t.Error("loop back-edge jumps not counted")
+	}
+}
+
+func TestProfHookAndZeroCost(t *testing.T) {
+	p := &ir.Program{}
+	f := &ir.Func{Name: "main", NRegs: 1}
+	p.Funcs = append(p.Funcs, f)
+	b := f.NewBlock()
+	b.Insts = []ir.Inst{
+		{Op: ir.Mov, Dst: 0, A: ir.Imm(7)},
+		{Op: ir.Prof, SeqID: 3, A: ir.R(0)},
+	}
+	b.Term = ir.Term{Kind: ir.TermRet, Val: ir.R(0)}
+	p.Linearize()
+
+	var gotSeq int
+	var gotVal int64
+	m := &Machine{Prog: p, OnProf: func(seq, sub int, v int64) { gotSeq, gotVal = seq, v }}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotSeq != 3 || gotVal != 7 {
+		t.Errorf("prof hook got (%d,%d), want (3,7)", gotSeq, gotVal)
+	}
+	if m.Stats.ProfHits != 1 {
+		t.Errorf("ProfHits = %d", m.Stats.ProfHits)
+	}
+	// mov + ret + call-of-main = 3; Prof costs nothing.
+	if m.Stats.Insts != 3 {
+		t.Errorf("Insts = %d, want 3 (Prof must be free)", m.Stats.Insts)
+	}
+}
+
+func TestIJmpCostAndDispatch(t *testing.T) {
+	p := &ir.Program{}
+	f := &ir.Func{Name: "main", NRegs: 1}
+	p.Funcs = append(p.Funcs, f)
+	entry := f.NewBlock()
+	t0 := f.NewBlock()
+	t1 := f.NewBlock()
+	entry.Insts = []ir.Inst{{Op: ir.Mov, Dst: 0, A: ir.Imm(1)}}
+	entry.Term = ir.Term{Kind: ir.TermIJmp, Index: ir.R(0), Targets: []*ir.Block{t0, t1}}
+	t0.Term = ir.Term{Kind: ir.TermRet, Val: ir.Imm(100)}
+	t1.Term = ir.Term{Kind: ir.TermRet, Val: ir.Imm(200)}
+	p.Linearize()
+
+	m := &Machine{Prog: p}
+	ret, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 200 {
+		t.Errorf("dispatched to %d, want 200", ret)
+	}
+	if m.Stats.IndirectJumps != 1 {
+		t.Errorf("IndirectJumps = %d", m.Stats.IndirectJumps)
+	}
+	// call + mov + ijmp(3) + ret = 6 under the default cost model.
+	if m.Stats.Insts != 6 {
+		t.Errorf("Insts = %d, want 6", m.Stats.Insts)
+	}
+
+	// Out-of-range index traps.
+	entry.Insts[0].A = ir.Imm(7)
+	m2 := &Machine{Prog: p}
+	if _, err := m2.Run(); err == nil {
+		t.Error("out-of-range indirect jump did not trap")
+	}
+}
+
+func TestMissingMain(t *testing.T) {
+	p := &ir.Program{}
+	m := &Machine{Prog: p}
+	if _, err := m.Run(); err == nil {
+		t.Error("program without main ran")
+	}
+	f := &ir.Func{Name: "main", NParams: 1, NRegs: 1}
+	b := f.NewBlock()
+	b.Term = ir.Term{Kind: ir.TermRet, Val: ir.Imm(0)}
+	p.Funcs = append(p.Funcs, f)
+	p.Linearize()
+	m = &Machine{Prog: p}
+	if _, err := m.Run(); err == nil {
+		t.Error("main with parameters ran")
+	}
+}
+
+func TestFallthroughGotoIsFree(t *testing.T) {
+	p := &ir.Program{}
+	f := &ir.Func{Name: "main", NRegs: 1}
+	p.Funcs = append(p.Funcs, f)
+	a := f.NewBlock()
+	b := f.NewBlock()
+	a.Term = ir.Term{Kind: ir.TermGoto, Taken: b}
+	b.Term = ir.Term{Kind: ir.TermRet, Val: ir.Imm(0)}
+	p.Linearize()
+	m := &Machine{Prog: p}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Jumps != 0 {
+		t.Errorf("adjacent goto counted as a jump (%d)", m.Stats.Jumps)
+	}
+	// call + ret only.
+	if m.Stats.Insts != 2 {
+		t.Errorf("Insts = %d, want 2", m.Stats.Insts)
+	}
+}

@@ -1,0 +1,60 @@
+package ir
+
+// Preds computes the predecessor map for a function. Edges are
+// deduplicated: a block appears at most once in another block's
+// predecessor list even if several terminator edges join them.
+func Preds(f *Func) map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(f.Blocks))
+	var succs []*Block
+	for _, b := range f.Blocks {
+		succs = b.Term.Succs(succs[:0])
+		seen := map[*Block]bool{}
+		for _, s := range succs {
+			if !seen[s] {
+				seen[s] = true
+				preds[s] = append(preds[s], b)
+			}
+		}
+	}
+	return preds
+}
+
+// Reachable returns the set of blocks reachable from the entry.
+func Reachable(f *Func) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var stack []*Block
+	push := func(b *Block) {
+		if b != nil && !seen[b] {
+			seen[b] = true
+			stack = append(stack, b)
+		}
+	}
+	push(f.Entry())
+	var succs []*Block
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		succs = b.Term.Succs(succs[:0])
+		for _, s := range succs {
+			push(s)
+		}
+	}
+	return seen
+}
+
+// RemoveUnreachable deletes blocks not reachable from the entry and
+// reports whether anything was removed.
+func RemoveUnreachable(f *Func) bool {
+	live := Reachable(f)
+	if len(live) == len(f.Blocks) {
+		return false
+	}
+	kept := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if live[b] {
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+	return true
+}

@@ -1,0 +1,99 @@
+package ir
+
+// CloneInst returns a deep copy of an instruction (the Args slice is the
+// only reference field).
+func CloneInst(in Inst) Inst {
+	out := in
+	if in.Args != nil {
+		out.Args = append([]Operand(nil), in.Args...)
+	}
+	return out
+}
+
+// CloneBlocks deep-copies the given blocks into f (allocating fresh IDs)
+// and returns the mapping from original to clone. Terminator edges whose
+// target is inside the cloned set are redirected to the corresponding
+// clone; edges leaving the set keep their original target. Blocks must all
+// belong to f.
+func CloneBlocks(f *Func, blocks []*Block) map[*Block]*Block {
+	m := make(map[*Block]*Block, len(blocks))
+	for _, b := range blocks {
+		nb := f.NewBlock()
+		nb.Insts = make([]Inst, len(b.Insts))
+		for i := range b.Insts {
+			nb.Insts[i] = CloneInst(b.Insts[i])
+		}
+		nb.Term = b.Term
+		if b.Term.Targets != nil {
+			nb.Term.Targets = append([]*Block(nil), b.Term.Targets...)
+		}
+		m[b] = nb
+	}
+	redirect := func(t **Block) {
+		if *t != nil {
+			if c, ok := m[*t]; ok {
+				*t = c
+			}
+		}
+	}
+	for _, b := range blocks {
+		nb := m[b]
+		redirect(&nb.Term.Taken)
+		redirect(&nb.Term.Next)
+		for i := range nb.Term.Targets {
+			redirect(&nb.Term.Targets[i])
+		}
+	}
+	return m
+}
+
+// CloneFunc returns a deep copy of a function.
+func CloneFunc(f *Func) *Func {
+	nf := &Func{Name: f.Name, NParams: f.NParams, NRegs: f.NRegs}
+	m := make(map[*Block]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := &Block{ID: b.ID, LayoutIndex: b.LayoutIndex}
+		nb.Insts = make([]Inst, len(b.Insts))
+		for i := range b.Insts {
+			nb.Insts[i] = CloneInst(b.Insts[i])
+		}
+		m[b] = nb
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	for _, b := range f.Blocks {
+		nb := m[b]
+		nb.Term = b.Term
+		if b.Term.Taken != nil {
+			nb.Term.Taken = m[b.Term.Taken]
+		}
+		if b.Term.Next != nil {
+			nb.Term.Next = m[b.Term.Next]
+		}
+		if b.Term.Targets != nil {
+			nb.Term.Targets = make([]*Block, len(b.Term.Targets))
+			for i, t := range b.Term.Targets {
+				nb.Term.Targets[i] = m[t]
+			}
+		}
+	}
+	nf.SyncNextID()
+	return nf
+}
+
+// CloneProgram returns a deep copy of a program. Funcs, blocks and globals
+// are all fresh; Call instructions refer to callees by name so they need
+// no fixup.
+func CloneProgram(p *Program) *Program {
+	np := &Program{MemSize: p.MemSize, nextBranchID: p.nextBranchID}
+	for _, f := range p.Funcs {
+		np.Funcs = append(np.Funcs, CloneFunc(f))
+	}
+	for _, g := range p.Globals {
+		ng := *g
+		if g.Init != nil {
+			ng.Init = append([]int64(nil), g.Init...)
+		}
+		np.Globals = append(np.Globals, &ng)
+	}
+	return np
+}

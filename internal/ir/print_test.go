@@ -1,0 +1,79 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInstStrings(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: Mov, Dst: 1, A: Imm(5)}, "r1 = mov 5"},
+		{Inst{Op: Neg, Dst: 2, A: R(1)}, "r2 = neg r1"},
+		{Inst{Op: Cmp, A: R(0), B: Imm(-1)}, "cmp r0, -1"},
+		{Inst{Op: Ld, Dst: 3, A: R(4)}, "r3 = ld [r4]"},
+		{Inst{Op: St, A: Imm(7), B: R(2)}, "st [7], r2"},
+		{Inst{Op: GetChar, Dst: 0}, "r0 = getchar"},
+		{Inst{Op: PutChar, A: Imm(65)}, "putchar 65"},
+		{Inst{Op: PutInt, A: R(1)}, "putint r1"},
+		{Inst{Op: Prof, SeqID: 4, A: R(2)}, "prof seq4, r2"},
+		{Inst{Op: ProfCond, SeqID: 2, Sub: 1, A: R(3), B: Imm(9), Rel: GT}, "profcond seq2.1, r3 gt 9"},
+		{Inst{Op: Nop}, "nop"},
+		{Inst{Op: Add, Dst: 0, A: R(1), B: R(2)}, "r0 = add r1, r2"},
+		{Inst{Op: Call, Dst: 1, Callee: "f", Args: []Operand{Imm(3), R(2)}}, "r1 = call f(3, r2)"},
+		{Inst{Op: Call, Dst: NoReg, Callee: "g"}, "call g()"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("got %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTermStrings(t *testing.T) {
+	a := &Block{ID: 3}
+	b := &Block{ID: 9}
+	cases := []struct {
+		in   Term
+		want string
+	}{
+		{Term{Kind: TermGoto, Taken: a}, "goto B3"},
+		{Term{Kind: TermBr, Rel: LE, Taken: a, Next: b}, "ble B3 else B9"},
+		{Term{Kind: TermRet, Val: Imm(0)}, "ret 0"},
+		{Term{Kind: TermIJmp, Index: R(1), Targets: []*Block{a, b}}, "ijmp r1 [B3 B9]"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("got %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestProgramDumpIncludesGlobals(t *testing.T) {
+	p := &Program{MemSize: 3}
+	p.Globals = append(p.Globals, &Global{Name: "tab", Addr: 0, Size: 3})
+	f := &Func{Name: "main", NRegs: 1}
+	blk := f.NewBlock()
+	blk.Term = Term{Kind: TermRet, Val: Imm(0)}
+	p.Funcs = append(p.Funcs, f)
+	text := p.Dump()
+	if !strings.Contains(text, "global tab @0 size=3") || !strings.Contains(text, "func main") {
+		t.Errorf("dump missing pieces:\n%s", text)
+	}
+}
+
+func TestRelAndOpNames(t *testing.T) {
+	for rel, want := range map[Rel]string{EQ: "eq", NE: "ne", LT: "lt", LE: "le", GT: "gt", GE: "ge"} {
+		if rel.String() != want {
+			t.Errorf("Rel %d prints %q", rel, rel.String())
+		}
+	}
+	if Op(200).String() != "op?" {
+		t.Error("unknown opcode should print op?")
+	}
+	if Rel(77).String() != "rel?" {
+		t.Error("unknown rel should print rel?")
+	}
+}

@@ -1,0 +1,312 @@
+package lower
+
+import (
+	"fmt"
+
+	"branchreorder/internal/cminus"
+	"branchreorder/internal/ir"
+)
+
+var binOpcode = map[string]ir.Op{
+	"+": ir.Add, "-": ir.Sub, "*": ir.Mul, "/": ir.Div, "%": ir.Rem,
+	"&": ir.And, "|": ir.Or, "^": ir.Xor, "<<": ir.Shl, ">>": ir.Shr,
+}
+
+var relOps = map[string]ir.Rel{
+	"==": ir.EQ, "!=": ir.NE, "<": ir.LT, "<=": ir.LE, ">": ir.GT, ">=": ir.GE,
+}
+
+// expr lowers e for its value, returning the operand that holds it.
+// Constant subexpressions fold to immediates.
+func (l *lowerer) expr(e cminus.Expr) ir.Operand {
+	if v, ok := cminus.EvalConst(e); ok {
+		return ir.Imm(v)
+	}
+	switch e := e.(type) {
+	case *cminus.IntLit:
+		return ir.Imm(e.Val)
+	case *cminus.Ident:
+		sym := l.info.Uses[e]
+		if sym.Kind == cminus.SymLocal {
+			return ir.R(ir.Reg(sym.Slot))
+		}
+		g := l.prog().Global(sym.Global.Name)
+		r := l.f.NewReg()
+		l.emit(ir.Inst{Op: ir.Ld, Dst: r, A: ir.Imm(g.Addr)})
+		return ir.R(r)
+	case *cminus.IndexExpr:
+		addr := l.arrayAddr(e)
+		r := l.f.NewReg()
+		l.emit(ir.Inst{Op: ir.Ld, Dst: r, A: addr})
+		return ir.R(r)
+	case *cminus.CallExpr:
+		return l.call(e, true)
+	case *cminus.UnaryExpr:
+		switch e.Op {
+		case "-":
+			v := l.expr(e.X)
+			r := l.f.NewReg()
+			l.emit(ir.Inst{Op: ir.Neg, Dst: r, A: v})
+			return ir.R(r)
+		case "~":
+			v := l.expr(e.X)
+			r := l.f.NewReg()
+			l.emit(ir.Inst{Op: ir.Not, Dst: r, A: v})
+			return ir.R(r)
+		case "!":
+			return l.boolValue(e)
+		}
+	case *cminus.BinaryExpr:
+		if _, isRel := relOps[e.Op]; isRel || e.Op == "&&" || e.Op == "||" {
+			return l.boolValue(e)
+		}
+		a := l.expr(e.L)
+		b := l.expr(e.R)
+		r := l.f.NewReg()
+		l.emit(ir.Inst{Op: binOpcode[e.Op], Dst: r, A: a, B: b})
+		return ir.R(r)
+	case *cminus.AssignExpr:
+		return l.assign(e)
+	case *cminus.IncDecExpr:
+		return l.incDec(e)
+	case *cminus.CondExpr:
+		thenB := l.newBlock()
+		elseB := l.newBlock()
+		end := l.newBlock()
+		r := l.f.NewReg()
+		l.cond(e.Cond, thenB, elseB)
+		l.startBlock(thenB)
+		tv := l.expr(e.Then)
+		l.emit(ir.Inst{Op: ir.Mov, Dst: r, A: tv})
+		l.jumpTo(end)
+		l.startBlock(elseB)
+		ev := l.expr(e.Else)
+		l.emit(ir.Inst{Op: ir.Mov, Dst: r, A: ev})
+		l.jumpTo(end)
+		l.startBlock(end)
+		return ir.R(r)
+	}
+	panic(fmt.Sprintf("lower: unknown expression %T", e))
+}
+
+func (l *lowerer) prog() *ir.Program { return l.res.Prog }
+
+// arrayAddr computes the address operand for an array element access.
+func (l *lowerer) arrayAddr(e *cminus.IndexExpr) ir.Operand {
+	g := l.prog().Global(l.info.ArrayUses[e].Name)
+	idx := l.expr(e.Index)
+	if idx.IsImm {
+		return ir.Imm(g.Addr + idx.Imm)
+	}
+	r := l.f.NewReg()
+	l.emit(ir.Inst{Op: ir.Add, Dst: r, A: idx, B: ir.Imm(g.Addr)})
+	return ir.R(r)
+}
+
+// boolValue materializes a condition as 0/1 through control flow.
+func (l *lowerer) boolValue(e cminus.Expr) ir.Operand {
+	r := l.f.NewReg()
+	t := l.newBlock()
+	f := l.newBlock()
+	end := l.newBlock()
+	l.cond(e, t, f)
+	l.startBlock(t)
+	l.emit(ir.Inst{Op: ir.Mov, Dst: r, A: ir.Imm(1)})
+	l.jumpTo(end)
+	l.startBlock(f)
+	l.emit(ir.Inst{Op: ir.Mov, Dst: r, A: ir.Imm(0)})
+	l.jumpTo(end)
+	l.startBlock(end)
+	return ir.R(r)
+}
+
+// cond lowers e as a condition with the given true/false destinations,
+// applying short-circuit evaluation.
+func (l *lowerer) cond(e cminus.Expr, t, f *ir.Block) {
+	if v, ok := cminus.EvalConst(e); ok {
+		if v != 0 {
+			l.jumpTo(t)
+		} else {
+			l.jumpTo(f)
+		}
+		return
+	}
+	switch e := e.(type) {
+	case *cminus.BinaryExpr:
+		switch e.Op {
+		case "&&":
+			mid := l.newBlock()
+			l.cond(e.L, mid, f)
+			l.startBlock(mid)
+			l.cond(e.R, t, f)
+			return
+		case "||":
+			mid := l.newBlock()
+			l.cond(e.L, t, mid)
+			l.startBlock(mid)
+			l.cond(e.R, t, f)
+			return
+		}
+		if rel, ok := relOps[e.Op]; ok {
+			a := l.expr(e.L)
+			b := l.expr(e.R)
+			l.emit(ir.Inst{Op: ir.Cmp, A: a, B: b})
+			l.terminate(ir.Term{Kind: ir.TermBr, Rel: rel, Taken: t, Next: f})
+			return
+		}
+	case *cminus.UnaryExpr:
+		if e.Op == "!" {
+			l.cond(e.X, f, t)
+			return
+		}
+	}
+	// General case: nonzero test.
+	v := l.expr(e)
+	l.emit(ir.Inst{Op: ir.Cmp, A: v, B: ir.Imm(0)})
+	l.terminate(ir.Term{Kind: ir.TermBr, Rel: ir.NE, Taken: t, Next: f})
+}
+
+// assign lowers an assignment (possibly compound) and yields the stored
+// value.
+func (l *lowerer) assign(e *cminus.AssignExpr) ir.Operand {
+	switch lhs := e.LHS.(type) {
+	case *cminus.Ident:
+		sym := l.info.Uses[lhs]
+		if sym.Kind == cminus.SymLocal {
+			dst := ir.Reg(sym.Slot)
+			if e.Op == "" {
+				v := l.expr(e.RHS)
+				l.emit(ir.Inst{Op: ir.Mov, Dst: dst, A: v})
+			} else {
+				v := l.expr(e.RHS)
+				l.emit(ir.Inst{Op: binOpcode[e.Op], Dst: dst, A: ir.R(dst), B: v})
+			}
+			return ir.R(dst)
+		}
+		g := l.prog().Global(sym.Global.Name)
+		var val ir.Operand
+		if e.Op == "" {
+			val = l.expr(e.RHS)
+		} else {
+			cur := l.f.NewReg()
+			l.emit(ir.Inst{Op: ir.Ld, Dst: cur, A: ir.Imm(g.Addr)})
+			v := l.expr(e.RHS)
+			res := l.f.NewReg()
+			l.emit(ir.Inst{Op: binOpcode[e.Op], Dst: res, A: ir.R(cur), B: v})
+			val = ir.R(res)
+		}
+		l.emit(ir.Inst{Op: ir.St, A: ir.Imm(g.Addr), B: val})
+		return val
+	case *cminus.IndexExpr:
+		addr := l.arrayAddr(lhs)
+		// Pin the address in a register: the RHS may clobber temps.
+		addrReg := l.regOperand(addr)
+		var val ir.Operand
+		if e.Op == "" {
+			val = l.expr(e.RHS)
+		} else {
+			cur := l.f.NewReg()
+			l.emit(ir.Inst{Op: ir.Ld, Dst: cur, A: ir.R(addrReg)})
+			v := l.expr(e.RHS)
+			res := l.f.NewReg()
+			l.emit(ir.Inst{Op: binOpcode[e.Op], Dst: res, A: ir.R(cur), B: v})
+			val = ir.R(res)
+		}
+		l.emit(ir.Inst{Op: ir.St, A: ir.R(addrReg), B: val})
+		return val
+	}
+	panic("lower: invalid assignment target")
+}
+
+func (l *lowerer) incDec(e *cminus.IncDecExpr) ir.Operand {
+	op := ir.Add
+	if e.Op == "--" {
+		op = ir.Sub
+	}
+	switch x := e.X.(type) {
+	case *cminus.Ident:
+		sym := l.info.Uses[x]
+		if sym.Kind == cminus.SymLocal {
+			dst := ir.Reg(sym.Slot)
+			var old ir.Operand
+			if e.Postfix {
+				t := l.f.NewReg()
+				l.emit(ir.Inst{Op: ir.Mov, Dst: t, A: ir.R(dst)})
+				old = ir.R(t)
+			}
+			l.emit(ir.Inst{Op: op, Dst: dst, A: ir.R(dst), B: ir.Imm(1)})
+			if e.Postfix {
+				return old
+			}
+			return ir.R(dst)
+		}
+		g := l.prog().Global(sym.Global.Name)
+		cur := l.f.NewReg()
+		l.emit(ir.Inst{Op: ir.Ld, Dst: cur, A: ir.Imm(g.Addr)})
+		upd := l.f.NewReg()
+		l.emit(ir.Inst{Op: op, Dst: upd, A: ir.R(cur), B: ir.Imm(1)})
+		l.emit(ir.Inst{Op: ir.St, A: ir.Imm(g.Addr), B: ir.R(upd)})
+		if e.Postfix {
+			return ir.R(cur)
+		}
+		return ir.R(upd)
+	case *cminus.IndexExpr:
+		addr := l.arrayAddr(x)
+		addrReg := l.regOperand(addr)
+		cur := l.f.NewReg()
+		l.emit(ir.Inst{Op: ir.Ld, Dst: cur, A: ir.R(addrReg)})
+		upd := l.f.NewReg()
+		l.emit(ir.Inst{Op: op, Dst: upd, A: ir.R(cur), B: ir.Imm(1)})
+		l.emit(ir.Inst{Op: ir.St, A: ir.R(addrReg), B: ir.R(upd)})
+		if e.Postfix {
+			return ir.R(cur)
+		}
+		return ir.R(upd)
+	}
+	panic("lower: invalid ++/-- operand")
+}
+
+// call lowers a call; wantValue selects whether the result register is
+// allocated.
+func (l *lowerer) call(e *cminus.CallExpr, wantValue bool) ir.Operand {
+	tgt := l.info.Calls[e]
+	switch tgt.Builtin {
+	case cminus.BuiltinGetChar:
+		r := l.f.NewReg()
+		l.emit(ir.Inst{Op: ir.GetChar, Dst: r})
+		return ir.R(r)
+	case cminus.BuiltinPutChar:
+		v := l.expr(e.Args[0])
+		l.emit(ir.Inst{Op: ir.PutChar, A: v})
+		return ir.Imm(0)
+	case cminus.BuiltinPutInt:
+		v := l.expr(e.Args[0])
+		l.emit(ir.Inst{Op: ir.PutInt, A: v})
+		return ir.Imm(0)
+	}
+	args := make([]ir.Operand, len(e.Args))
+	for i, a := range e.Args {
+		// Pin register args so later argument evaluation cannot clobber
+		// them via assignments to locals.
+		v := l.expr(a)
+		if !v.IsImm && i < len(e.Args)-1 {
+			v = ir.R(l.copyReg(v.Reg))
+		}
+		args[i] = v
+	}
+	dst := ir.NoReg
+	if wantValue {
+		dst = l.f.NewReg()
+	}
+	l.emit(ir.Inst{Op: ir.Call, Dst: dst, Callee: tgt.Func.Name, Args: args})
+	if wantValue {
+		return ir.R(dst)
+	}
+	return ir.Imm(0)
+}
+
+func (l *lowerer) copyReg(r ir.Reg) ir.Reg {
+	t := l.f.NewReg()
+	l.emit(ir.Inst{Op: ir.Mov, Dst: t, A: ir.R(r)})
+	return t
+}

@@ -1,0 +1,134 @@
+package opt
+
+import "branchreorder/internal/ir"
+
+// DeadCodeElim removes side-effect-free instructions whose results are
+// never used, and comparisons whose condition codes are never consumed.
+// It reports whether anything changed.
+func DeadCodeElim(f *ir.Func) bool {
+	changed := deadInsts(f)
+	if deadCmps(f) {
+		changed = true
+	}
+	return changed
+}
+
+func deadInsts(f *ir.Func) bool {
+	changed := false
+	// Iterate: removing one instruction can make another dead.
+	for {
+		_, liveOut := liveness(f)
+		any := false
+		var regs []ir.Reg
+		for _, b := range f.Blocks {
+			live := newBitset(f.NRegs)
+			live.copyFrom(liveOut[b])
+			regs = termUses(&b.Term, regs[:0])
+			for _, r := range regs {
+				live.set(r)
+			}
+			for j := len(b.Insts) - 1; j >= 0; j-- {
+				inst := &b.Insts[j]
+				d := instDef(inst)
+				dead := d != ir.NoReg && !live.get(d) && sideEffectFree(inst)
+				if dead {
+					inst.Op = ir.Nop
+					inst.Args = nil
+					any = true
+					continue
+				}
+				if d != ir.NoReg {
+					live.clear(d)
+				}
+				regs = instUses(inst, regs[:0])
+				for _, r := range regs {
+					live.set(r)
+				}
+			}
+		}
+		if !any {
+			break
+		}
+		changed = true
+		removeNops(f)
+	}
+	return changed
+}
+
+// deadCmps removes comparisons whose flags are never consumed: any Cmp
+// followed by another Cmp in the same block is dead, and the last Cmp of a
+// block is dead when no path from the block's end reaches a conditional
+// branch before another Cmp.
+func deadCmps(f *ir.Func) bool {
+	// needIn[b]: flags value at entry of b may be consumed.
+	// needIn[b] = no Cmp in b && needOut(b); needOut(b) = Term is Br or
+	// any successor needs flags on entry.
+	hasCmp := map[*ir.Block]bool{}
+	for _, b := range f.Blocks {
+		for i := range b.Insts {
+			if b.Insts[i].Op == ir.Cmp {
+				hasCmp[b] = true
+				break
+			}
+		}
+	}
+	needIn := map[*ir.Block]bool{}
+	needOut := func(b *ir.Block) bool {
+		if b.Term.Kind == ir.TermBr {
+			return true
+		}
+		var succs []*ir.Block
+		for _, s := range b.Term.Succs(succs) {
+			if needIn[s] {
+				return true
+			}
+		}
+		return false
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			v := !hasCmp[b] && needOut(b)
+			if v != needIn[b] {
+				needIn[b] = v
+				changed = true
+			}
+		}
+	}
+	any := false
+	for _, b := range f.Blocks {
+		lastCmp := -1
+		for j := range b.Insts {
+			if b.Insts[j].Op != ir.Cmp {
+				continue
+			}
+			if lastCmp >= 0 {
+				b.Insts[lastCmp].Op = ir.Nop // shadowed by this later Cmp
+				any = true
+			}
+			lastCmp = j
+		}
+		if lastCmp >= 0 && !needOut(b) {
+			b.Insts[lastCmp].Op = ir.Nop
+			any = true
+		}
+	}
+	if any {
+		removeNops(f)
+	}
+	return any
+}
+
+func removeNops(f *ir.Func) {
+	for _, b := range f.Blocks {
+		kept := b.Insts[:0]
+		for i := range b.Insts {
+			if b.Insts[i].Op != ir.Nop {
+				kept = append(kept, b.Insts[i])
+			}
+		}
+		b.Insts = kept
+	}
+}

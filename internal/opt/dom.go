@@ -1,0 +1,82 @@
+package opt
+
+import "branchreorder/internal/ir"
+
+// domInfo answers dominance queries over a function's CFG.
+type domInfo struct {
+	idx map[*ir.Block]int
+	dom []bitset // dom[i] = set of block indices dominating block i
+}
+
+// computeDominators runs the classic iterative dominator dataflow.
+func computeDominators(f *ir.Func) *domInfo {
+	n := len(f.Blocks)
+	d := &domInfo{idx: make(map[*ir.Block]int, n), dom: make([]bitset, n)}
+	for i, b := range f.Blocks {
+		d.idx[b] = i
+	}
+	all := newBitset(n)
+	for i := 0; i < n; i++ {
+		all.set(ir.Reg(i))
+	}
+	for i := range d.dom {
+		d.dom[i] = newBitset(n)
+		d.dom[i].copyFrom(all)
+	}
+	entry := d.idx[f.Entry()]
+	d.dom[entry] = newBitset(n)
+	d.dom[entry].set(ir.Reg(entry))
+
+	preds := ir.Preds(f)
+	changed := true
+	for changed {
+		changed = false
+		for i, b := range f.Blocks {
+			if i == entry {
+				continue
+			}
+			nd := newBitset(n)
+			first := true
+			for _, p := range preds[b] {
+				pi := d.idx[p]
+				if first {
+					nd.copyFrom(d.dom[pi])
+					first = false
+				} else {
+					for w := range nd {
+						nd[w] &= d.dom[pi][w]
+					}
+				}
+			}
+			if first {
+				// No predecessors: unreachable; dominated by everything.
+				nd.copyFrom(all)
+			}
+			nd.set(ir.Reg(i))
+			if !bitsetEqual(nd, d.dom[i]) {
+				d.dom[i] = nd
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+func bitsetEqual(a, b bitset) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dominates reports whether definition point (db, di) dominates use point
+// (ub, ui); instruction indices order points within a block, and the
+// terminator is position len(Insts).
+func (d *domInfo) dominates(db *ir.Block, di int, ub *ir.Block, ui int) bool {
+	if db == ub {
+		return di < ui
+	}
+	return d.dom[d.idx[ub]].get(ir.Reg(d.idx[db]))
+}

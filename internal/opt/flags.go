@@ -1,0 +1,109 @@
+package opt
+
+import "branchreorder/internal/ir"
+
+// Redundant comparison elimination (paper Section 7, Figure 9): a Cmp is
+// deleted when the condition codes already hold the result of comparing
+// the same operands, either because an identical Cmp appears earlier in
+// the block or because every predecessor exits with identical flags. The
+// reordering transformation exposes many such comparisons when a default
+// range becomes explicit next to a neighbouring range of the same
+// variable.
+
+// flagsDesc describes what the condition codes hold: a comparison of two
+// operand expressions whose registers have not been redefined since.
+type flagsDesc struct {
+	state int // 0 = unset (top), 1 = known, 2 = unknown (bottom)
+	a, b  ir.Operand
+}
+
+var (
+	descTop     = flagsDesc{state: 0}
+	descUnknown = flagsDesc{state: 2}
+)
+
+func descOf(a, b ir.Operand) flagsDesc { return flagsDesc{state: 1, a: a, b: b} }
+
+func (d flagsDesc) meet(o flagsDesc) flagsDesc {
+	switch {
+	case d.state == 0:
+		return o
+	case o.state == 0:
+		return d
+	case d.state == 1 && o.state == 1 && d.a == o.a && d.b == o.b:
+		return d
+	default:
+		return descUnknown
+	}
+}
+
+// usesReg reports whether the descriptor's operands read r.
+func (d flagsDesc) usesReg(r ir.Reg) bool {
+	if d.state != 1 {
+		return false
+	}
+	return (!d.a.IsImm && d.a.Reg == r) || (!d.b.IsImm && d.b.Reg == r)
+}
+
+// transfer runs the block's instructions over an incoming descriptor and
+// returns the outgoing one. When kill is non-nil it records (by index)
+// comparisons made redundant by the incoming state.
+func flagsTransfer(b *ir.Block, in flagsDesc, kill func(i int)) flagsDesc {
+	d := in
+	for i := range b.Insts {
+		inst := &b.Insts[i]
+		if inst.Op == ir.Cmp {
+			nd := descOf(inst.A, inst.B)
+			if kill != nil && d.state == 1 && d.a == nd.a && d.b == nd.b {
+				kill(i)
+				continue // flags unchanged; d already equals nd
+			}
+			d = nd
+			continue
+		}
+		if r := instDef(inst); r != ir.NoReg && d.usesReg(r) {
+			d = descUnknown
+		}
+	}
+	return d
+}
+
+// RedundantCmpElim removes comparisons whose result is already in the
+// condition codes. It reports whether anything changed.
+func RedundantCmpElim(f *ir.Func) bool {
+	in := make(map[*ir.Block]flagsDesc, len(f.Blocks))
+	for _, b := range f.Blocks {
+		in[b] = descTop
+	}
+	in[f.Entry()] = descUnknown
+	preds := ir.Preds(f)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			d := in[b]
+			if b != f.Entry() {
+				d = descTop
+				for _, p := range preds[b] {
+					d = d.meet(flagsTransfer(p, in[p], nil))
+				}
+			}
+			if d != in[b] {
+				in[b] = d
+				changed = true
+			}
+		}
+	}
+	any := false
+	for _, b := range f.Blocks {
+		var dead []int
+		flagsTransfer(b, in[b], func(i int) { dead = append(dead, i) })
+		for _, i := range dead {
+			b.Insts[i].Op = ir.Nop
+			any = true
+		}
+	}
+	if any {
+		removeNops(f)
+	}
+	return any
+}

@@ -1,0 +1,146 @@
+// Package opt implements the conventional optimizations the paper applies
+// before (and re-applies after) branch reordering: constant folding and
+// propagation, copy propagation, dead code elimination, unreachable-code
+// elimination, branch chaining, basic-block merging, and dead/redundant
+// comparison elimination. Code repositioning lives in ir.Linearize.
+package opt
+
+import "branchreorder/internal/ir"
+
+// bitset is a fixed-size register set.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) get(i ir.Reg) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (b bitset) set(i ir.Reg) { b[i/64] |= 1 << (uint(i) % 64) }
+
+func (b bitset) clear(i ir.Reg) { b[i/64] &^= 1 << (uint(i) % 64) }
+
+// orInto ors src into b, reporting whether b changed.
+func (b bitset) orInto(src bitset) bool {
+	changed := false
+	for i := range b {
+		n := b[i] | src[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b bitset) copyFrom(src bitset) { copy(b, src) }
+
+// instDef returns the register defined by an instruction, or ir.NoReg.
+func instDef(in *ir.Inst) ir.Reg {
+	switch in.Op {
+	case ir.Mov, ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Rem, ir.And, ir.Or,
+		ir.Xor, ir.Shl, ir.Shr, ir.Neg, ir.Not, ir.Ld, ir.GetChar:
+		return in.Dst
+	case ir.Call:
+		return in.Dst // may be NoReg
+	default:
+		return ir.NoReg
+	}
+}
+
+// instUses appends the registers read by an instruction.
+func instUses(in *ir.Inst, dst []ir.Reg) []ir.Reg {
+	add := func(o ir.Operand) {
+		if !o.IsImm {
+			dst = append(dst, o.Reg)
+		}
+	}
+	switch in.Op {
+	case ir.Mov, ir.Neg, ir.Not, ir.Ld, ir.PutChar, ir.PutInt, ir.Prof:
+		add(in.A)
+	case ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Rem, ir.And, ir.Or, ir.Xor,
+		ir.Shl, ir.Shr, ir.Cmp, ir.St, ir.ProfCond:
+		add(in.A)
+		add(in.B)
+	case ir.Call:
+		for _, a := range in.Args {
+			add(a)
+		}
+	}
+	return dst
+}
+
+// termUses appends the registers read by a terminator.
+func termUses(t *ir.Term, dst []ir.Reg) []ir.Reg {
+	switch t.Kind {
+	case ir.TermIJmp:
+		if !t.Index.IsImm {
+			dst = append(dst, t.Index.Reg)
+		}
+	case ir.TermRet:
+		if !t.Val.IsImm {
+			dst = append(dst, t.Val.Reg)
+		}
+	}
+	return dst
+}
+
+// sideEffectFree reports whether deleting the instruction (when its result
+// is unused) preserves behaviour of well-defined programs. Loads are
+// treated as removable: a dead load can only matter by trapping, and
+// removing the trap of an erroneous program is acceptable here (C gives
+// such programs no semantics either).
+func sideEffectFree(in *ir.Inst) bool {
+	switch in.Op {
+	case ir.Mov, ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Rem, ir.And, ir.Or,
+		ir.Xor, ir.Shl, ir.Shr, ir.Neg, ir.Not, ir.Ld, ir.Nop:
+		return true
+	default:
+		return false
+	}
+}
+
+// liveness computes live-in/live-out register sets per block.
+func liveness(f *ir.Func) (liveIn, liveOut map[*ir.Block]bitset) {
+	liveIn = make(map[*ir.Block]bitset, len(f.Blocks))
+	liveOut = make(map[*ir.Block]bitset, len(f.Blocks))
+	for _, b := range f.Blocks {
+		liveIn[b] = newBitset(f.NRegs)
+		liveOut[b] = newBitset(f.NRegs)
+	}
+	var regs []ir.Reg
+	changed := true
+	for changed {
+		changed = false
+		// Reverse block order converges faster for mostly-forward CFGs.
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := liveOut[b]
+			var succs []*ir.Block
+			succs = b.Term.Succs(succs)
+			for _, s := range succs {
+				if out.orInto(liveIn[s]) {
+					changed = true
+				}
+			}
+			in := newBitset(f.NRegs)
+			in.copyFrom(out)
+			regs = termUses(&b.Term, regs[:0])
+			for _, r := range regs {
+				in.set(r)
+			}
+			for j := len(b.Insts) - 1; j >= 0; j-- {
+				inst := &b.Insts[j]
+				if d := instDef(inst); d != ir.NoReg {
+					in.clear(d)
+				}
+				regs = instUses(inst, regs[:0])
+				for _, r := range regs {
+					in.set(r)
+				}
+			}
+			if liveIn[b].orInto(in) {
+				changed = true
+			}
+		}
+	}
+	return liveIn, liveOut
+}

@@ -1,0 +1,199 @@
+package opt_test
+
+import (
+	"testing"
+
+	"branchreorder/internal/interp"
+	"branchreorder/internal/ir"
+	"branchreorder/internal/lower"
+	"branchreorder/internal/pipeline"
+)
+
+// build compiles with or without optimization.
+func build(t *testing.T, src string, optimize bool) *ir.Program {
+	t.Helper()
+	res, err := pipeline.Frontend(src, pipeline.Options{Switch: lower.SetI, Optimize: optimize})
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	return res.Prog
+}
+
+func execute(t *testing.T, p *ir.Program, input string) (int64, string, interp.Stats) {
+	t.Helper()
+	m := &interp.Machine{Prog: p, Input: []byte(input)}
+	ret, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, p.Dump())
+	}
+	return ret, m.Output.String(), m.Stats
+}
+
+// The optimizer must preserve observable behaviour and should reduce the
+// dynamic instruction count on programs with foldable work.
+var semanticsPrograms = []struct {
+	name  string
+	src   string
+	input string
+}{
+	{"charloop", `
+int hist[256];
+int main() {
+	int c, n = 0;
+	while ((c = getchar()) != EOF) {
+		if (c >= 0) hist[c]++;
+		if (c == ' ' || c == '\t') n++;
+		else if (c == '\n') n += 2;
+	}
+	putint(n); putchar('\n');
+	putint(hist['a']);
+	return n;
+}`, "a b\tc\naa a"},
+	{"constarith", `
+int main() {
+	int x = 3 * 4 + 5;
+	int y = x * 2 - (10 / 2);
+	int z = y % 7 + (1 << 4);
+	putint(x + y + z);
+	return 0;
+}`, ""},
+	{"switchmix", `
+int main() {
+	int c, acc = 0;
+	while ((c = getchar()) != EOF) {
+		switch (c) {
+		case '0': case '1': case '2': case '3': case '4':
+			acc = acc * 10 + c - '0'; break;
+		case '+': acc += 1; break;
+		case '-': acc -= 1; break;
+		case '*': acc *= 2; break;
+		default: acc = acc ^ c; break;
+		}
+	}
+	putint(acc);
+	return acc;
+}`, "12+34*-z8"},
+	{"callchain", `
+int twice(int x) { return x + x; }
+int apply(int a, int b) { return twice(a) - b; }
+int main() {
+	int i, s = 0;
+	for (i = 0; i < 20; i++) s += apply(i, i / 2);
+	putint(s);
+	return s;
+}`, ""},
+	{"nestedloops", `
+int main() {
+	int i, j, s = 0;
+	for (i = 0; i < 12; i++) {
+		for (j = i; j < 12; j++) {
+			if ((i + j) % 3 == 0) s += i * j;
+			else if ((i ^ j) % 5 == 1) s -= j;
+		}
+	}
+	putint(s);
+	return s;
+}`, ""},
+}
+
+func TestOptimizerPreservesSemantics(t *testing.T) {
+	for _, tt := range semanticsPrograms {
+		t.Run(tt.name, func(t *testing.T) {
+			unopt := build(t, tt.src, false)
+			optd := build(t, tt.src, true)
+			r1, o1, s1 := execute(t, unopt, tt.input)
+			r2, o2, s2 := execute(t, optd, tt.input)
+			if r1 != r2 {
+				t.Errorf("return value changed: %d -> %d", r1, r2)
+			}
+			if o1 != o2 {
+				t.Errorf("output changed: %q -> %q", o1, o2)
+			}
+			if s2.Insts > s1.Insts {
+				t.Errorf("optimization increased insts: %d -> %d", s1.Insts, s2.Insts)
+			}
+		})
+	}
+}
+
+func TestConstantFoldingCollapses(t *testing.T) {
+	p := build(t, `int main() { return 3 * 4 + 5 - (2 << 3); }`, true)
+	_, _, stats := execute(t, p, "")
+	// main should be: ret imm (+ the call of main itself): 2 instructions.
+	if stats.Insts > 2 {
+		t.Errorf("constant program executes %d insts, want <= 2\n%s", stats.Insts, p.Dump())
+	}
+}
+
+func TestDeadCodeRemoved(t *testing.T) {
+	p := build(t, `
+int main() {
+	int a = 5;
+	int dead = a * 100 + 3;
+	int dead2 = dead - 7;
+	return a;
+}`, true)
+	_, _, stats := execute(t, p, "")
+	if stats.Insts > 2 {
+		t.Errorf("dead code survived: %d insts\n%s", stats.Insts, p.Dump())
+	}
+}
+
+func TestConstBranchFolded(t *testing.T) {
+	p := build(t, `
+int main() {
+	int x = 10;
+	if (x > 5) return 1;
+	return 2;
+}`, true)
+	ret, _, stats := execute(t, p, "")
+	if ret != 1 {
+		t.Fatalf("got %d, want 1", ret)
+	}
+	if stats.CondBranches != 0 {
+		t.Errorf("constant branch executed dynamically (%d branches)\n%s", stats.CondBranches, p.Dump())
+	}
+}
+
+func TestRedundantCmpEliminated(t *testing.T) {
+	// Lowered naively, both if statements compare c to the same constant.
+	p := build(t, `
+int main() {
+	int c = getchar();
+	int a = 0;
+	if (c == 'x') a = 1;
+	if (c == 'x') a = a + 2;
+	return a;
+}`, true)
+	_, _, stats := execute(t, p, "x")
+	if stats.Cmps > 1 {
+		t.Errorf("redundant compare survived: %d cmps\n%s", stats.Cmps, p.Dump())
+	}
+}
+
+func TestWhileOneLoopHasNoBranchOverhead(t *testing.T) {
+	p := build(t, `
+int main() {
+	int n = 0;
+	while (1) {
+		n++;
+		if (n >= 10) break;
+	}
+	return n;
+}`, true)
+	ret, _, stats := execute(t, p, "")
+	if ret != 10 {
+		t.Fatalf("got %d, want 10", ret)
+	}
+	// Only the break check should branch: 10 dynamic conditional branches.
+	if stats.CondBranches != 10 {
+		t.Errorf("CondBranches = %d, want 10\n%s", stats.CondBranches, p.Dump())
+	}
+}
+
+func TestStaticInstsPositive(t *testing.T) {
+	p := build(t, semanticsPrograms[0].src, true)
+	if n := pipeline.StaticInsts(p, 3); n <= 0 {
+		t.Errorf("StaticInsts = %d, want > 0", n)
+	}
+}

@@ -1,0 +1,151 @@
+package opt
+
+import "branchreorder/internal/ir"
+
+// SimplifyControl performs branch chaining (edges through empty goto
+// blocks are retargeted), folds conditional branches whose comparison is
+// between two constants, collapses branches with identical destinations,
+// and merges single-predecessor goto chains. It reports whether anything
+// changed.
+func SimplifyControl(f *ir.Func) bool {
+	changed := false
+	if chainBranches(f) {
+		changed = true
+	}
+	if foldConstBranches(f) {
+		changed = true
+	}
+	if collapseTrivialBranches(f) {
+		changed = true
+	}
+	// Drop unreachable blocks before merging: a dead predecessor would
+	// otherwise block a single-predecessor merge.
+	if ir.RemoveUnreachable(f) {
+		changed = true
+	}
+	if mergeBlocks(f) {
+		changed = true
+	}
+	return changed
+}
+
+// chainTarget follows chains of empty goto blocks, stopping at cycles.
+func chainTarget(b *ir.Block) *ir.Block {
+	seen := map[*ir.Block]bool{}
+	for len(b.Insts) == 0 && b.Term.Kind == ir.TermGoto && !seen[b] {
+		seen[b] = true
+		b = b.Term.Taken
+	}
+	return b
+}
+
+func chainBranches(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		t := &b.Term
+		switch t.Kind {
+		case ir.TermGoto:
+			if n := chainTarget(t.Taken); n != t.Taken {
+				t.Taken = n
+				changed = true
+			}
+		case ir.TermBr:
+			if n := chainTarget(t.Taken); n != t.Taken {
+				t.Taken = n
+				changed = true
+			}
+			if n := chainTarget(t.Next); n != t.Next {
+				t.Next = n
+				changed = true
+			}
+		case ir.TermIJmp:
+			for i, tgt := range t.Targets {
+				if n := chainTarget(tgt); n != tgt {
+					t.Targets[i] = n
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// foldConstBranches rewrites a conditional branch into a goto when the
+// block's own final comparison is between two immediates. The comparison
+// itself is left for deadCmps, since other blocks may still consume the
+// flags.
+func foldConstBranches(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		if b.Term.Kind != ir.TermBr {
+			continue
+		}
+		var lastCmp *ir.Inst
+		for i := len(b.Insts) - 1; i >= 0; i-- {
+			if b.Insts[i].Op == ir.Cmp {
+				lastCmp = &b.Insts[i]
+				break
+			}
+		}
+		if lastCmp == nil || !lastCmp.A.IsImm || !lastCmp.B.IsImm {
+			continue
+		}
+		target := b.Term.Next
+		if b.Term.Rel.Holds(lastCmp.A.Imm, lastCmp.B.Imm) {
+			target = b.Term.Taken
+		}
+		b.Term = ir.Term{Kind: ir.TermGoto, Taken: target}
+		changed = true
+	}
+	return changed
+}
+
+// collapseTrivialBranches turns a conditional branch whose two successors
+// are identical into a goto.
+func collapseTrivialBranches(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		if b.Term.Kind == ir.TermBr && b.Term.Taken == b.Term.Next {
+			b.Term = ir.Term{Kind: ir.TermGoto, Taken: b.Term.Taken}
+			changed = true
+		}
+	}
+	return changed
+}
+
+// mergeBlocks merges b -> c when b ends in a goto to c and c has no other
+// predecessors.
+func mergeBlocks(f *ir.Func) bool {
+	changed := false
+	for {
+		preds := ir.Preds(f)
+		merged := false
+		for _, b := range f.Blocks {
+			if b.Term.Kind != ir.TermGoto {
+				continue
+			}
+			c := b.Term.Taken
+			if c == b || c == f.Entry() {
+				continue
+			}
+			if len(preds[c]) != 1 {
+				continue
+			}
+			b.Insts = append(b.Insts, c.Insts...)
+			b.Term = c.Term
+			// Delete c.
+			for i, blk := range f.Blocks {
+				if blk == c {
+					f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+					break
+				}
+			}
+			merged = true
+			changed = true
+			break // preds map is stale; recompute
+		}
+		if !merged {
+			return changed
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"branchreorder/internal/interp"
+	"branchreorder/internal/lower"
+)
+
+// Profile-guided selection of the multiway search method: the paper's
+// Section 9/10 observation that "profile information should be used to
+// decide if an indirect jump should be generated or branch reordering
+// should instead be applied". AutoBuild compiles the program under every
+// switch-translation heuristic set, reorders each candidate using the
+// training input, evaluates the trained executables on that same training
+// input, and returns the cheapest — a semi-static search-method choice
+// driven by the same profile data the reordering uses.
+
+// AutoResult is the outcome of profile-guided method selection.
+type AutoResult struct {
+	// Chosen is the winning build; Set is its heuristic set.
+	Chosen *BuildResult
+	Set    lower.HeuristicSet
+
+	// TrainInsts records each candidate's dynamic instruction count on
+	// the training input (reordered executable).
+	TrainInsts map[lower.HeuristicSet]uint64
+}
+
+// AutoBuild picks the switch translation method by profile.
+func AutoBuild(src string, train []byte, base Options) (*AutoResult, error) {
+	res := &AutoResult{TrainInsts: map[lower.HeuristicSet]uint64{}}
+	var bestCost uint64
+	for _, set := range []lower.HeuristicSet{lower.SetI, lower.SetII, lower.SetIII} {
+		o := base
+		o.Switch = set
+		b, err := Build(src, train, o)
+		if err != nil {
+			return nil, fmt.Errorf("auto build (set %v): %w", set, err)
+		}
+		m := &interp.Machine{Prog: b.Reordered, Input: train}
+		if _, err := m.Run(); err != nil {
+			return nil, fmt.Errorf("auto evaluation (set %v): %w", set, err)
+		}
+		res.TrainInsts[set] = m.Stats.Insts
+		if res.Chosen == nil || m.Stats.Insts < bestCost {
+			res.Chosen = b
+			res.Set = set
+			bestCost = m.Stats.Insts
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,335 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"branchreorder/internal/interp"
+	"branchreorder/internal/ir"
+	"branchreorder/internal/lower"
+)
+
+func mustBuild(t *testing.T, src string, train string, o Options) *BuildResult {
+	t.Helper()
+	r, err := Build(src, []byte(train), o)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return r
+}
+
+func runProg(t *testing.T, p *ir.Program, input string) (int64, string, interp.Stats) {
+	t.Helper()
+	m := &interp.Machine{Prog: p, Input: []byte(input)}
+	ret, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, p.Dump())
+	}
+	return ret, m.Output.String(), m.Stats
+}
+
+// figure1 is the paper's motivating example (Figure 1): classify each
+// input character against blank, newline, and EOF.
+const figure1 = `
+int x = 0, y = 0, z = 0;
+int main() {
+	int c;
+	while ((c = getchar()) != EOF) {
+		if (c == ' ')
+			y = y + 1;
+		else if (c == '\n')
+			x = x + 1;
+		else
+			z = z + 1;
+	}
+	putint(x); putchar(' '); putint(y); putchar(' '); putint(z); putchar('\n');
+	return 0;
+}`
+
+// mostlyLetters builds input where most characters exceed a blank, as the
+// paper observes for real text.
+func mostlyLetters(seed int64, n int) string {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		r := rng.Intn(100)
+		switch {
+		case r < 12:
+			sb.WriteByte(' ')
+		case r < 17:
+			sb.WriteByte('\n')
+		default:
+			sb.WriteByte(byte('a' + rng.Intn(26)))
+		}
+	}
+	return sb.String()
+}
+
+func TestFigure1Reordering(t *testing.T) {
+	train := mostlyLetters(1, 4000)
+	test := mostlyLetters(2, 6000)
+	r := mustBuild(t, figure1, train, Options{Switch: lower.SetI, Optimize: true})
+
+	if r.TotalSeqs() == 0 {
+		t.Fatalf("no sequences detected\n%s", r.Baseline.Dump())
+	}
+	if r.ReorderedSeqs() == 0 {
+		t.Fatalf("no sequences reordered; results: %+v", r.Results)
+	}
+
+	ret0, out0, s0 := runProg(t, r.Baseline, test)
+	ret1, out1, s1 := runProg(t, r.Reordered, test)
+	if ret0 != ret1 || out0 != out1 {
+		t.Fatalf("semantics changed: ret %d->%d out %q->%q", ret0, ret1, out0, out1)
+	}
+	if s1.Insts >= s0.Insts {
+		t.Errorf("reordering did not reduce instructions: %d -> %d\nbaseline:\n%s\nreordered:\n%s",
+			s0.Insts, s1.Insts, r.Baseline.Dump(), r.Reordered.Dump())
+	}
+	if s1.CondBranches >= s0.CondBranches {
+		t.Errorf("reordering did not reduce branches: %d -> %d", s0.CondBranches, s1.CondBranches)
+	}
+}
+
+func TestForm4DetectionAndReordering(t *testing.T) {
+	src := `
+int letters = 0, digits = 0, others = 0;
+int main() {
+	int c;
+	while ((c = getchar()) != EOF) {
+		if (c >= '0' && c <= '9')
+			digits = digits + 1;
+		else if (c >= 'a' && c <= 'z')
+			letters = letters + 1;
+		else
+			others = others + 1;
+	}
+	putint(letters); putint(digits); putint(others);
+	return 0;
+}`
+	// Training: almost all letters, so the letter range should be tested
+	// first after reordering.
+	train := mostlyLetters(3, 3000)
+	test := mostlyLetters(4, 5000)
+	r := mustBuild(t, src, train, Options{Switch: lower.SetI, Optimize: true})
+	if r.TotalSeqs() == 0 {
+		t.Fatalf("no sequences detected\n%s", r.Baseline.Dump())
+	}
+	// The sequence must include a bounded (two-branch) condition.
+	foundBounded := false
+	for _, s := range r.Sequences {
+		for _, c := range s.Conds {
+			if c.R.BoundedBothEnds() {
+				foundBounded = true
+			}
+		}
+	}
+	if !foundBounded {
+		for _, s := range r.Sequences {
+			t.Logf("seq: %v", s)
+		}
+		t.Fatalf("no Form 4 condition detected\n%s", r.Baseline.Dump())
+	}
+	ret0, out0, s0 := runProg(t, r.Baseline, test)
+	ret1, out1, s1 := runProg(t, r.Reordered, test)
+	if ret0 != ret1 || out0 != out1 {
+		t.Fatalf("semantics changed: %q -> %q", out0, out1)
+	}
+	if r.ReorderedSeqs() > 0 && s1.Insts >= s0.Insts {
+		t.Errorf("reordering did not pay off: %d -> %d insts", s0.Insts, s1.Insts)
+	}
+}
+
+func TestSideEffectSinking(t *testing.T) {
+	// The else-chain increments a counter before later comparisons: an
+	// intervening side effect that must be sunk onto the exit edges.
+	src := `
+int seen = 0, a = 0, b = 0, d = 0;
+int main() {
+	int c;
+	while ((c = getchar()) != EOF) {
+		if (c == 'a')
+			a = a + 1;
+		else {
+			seen = seen + 1;
+			if (c == 'b')
+				b = b + 1;
+			else
+				d = d + 1;
+		}
+	}
+	putint(a); putchar(' ');
+	putint(b); putchar(' ');
+	putint(d); putchar(' ');
+	putint(seen); putchar('\n');
+	return 0;
+}`
+	// Train with mostly 'b' so testing 'b' first is profitable; 'a' rare.
+	gen := func(seed int64, n int) string {
+		rng := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			switch r := rng.Intn(10); {
+			case r == 0:
+				sb.WriteByte('a')
+			case r < 8:
+				sb.WriteByte('b')
+			default:
+				sb.WriteByte('z')
+			}
+		}
+		return sb.String()
+	}
+	train, test := gen(5, 2000), gen(6, 3000)
+	r := mustBuild(t, src, train, Options{Switch: lower.SetI, Optimize: true})
+	ret0, out0, _ := runProg(t, r.Baseline, test)
+	ret1, out1, _ := runProg(t, r.Reordered, test)
+	if ret0 != ret1 || out0 != out1 {
+		t.Fatalf("side effects broken: %q -> %q\nreordered:\n%s", out0, out1, r.Reordered.Dump())
+	}
+	if r.ReorderedSeqs() == 0 {
+		t.Log("note: side-effect sequence was not reordered")
+	}
+}
+
+func TestSwitchLinearReordering(t *testing.T) {
+	src := `
+int counts[8];
+int main() {
+	int c;
+	while ((c = getchar()) != EOF) {
+		switch (c) {
+		case 'a': counts[0]++; break;
+		case 'e': counts[1]++; break;
+		case 'i': counts[2]++; break;
+		case 'o': counts[3]++; break;
+		case 'u': counts[4]++; break;
+		default:  counts[5]++; break;
+		}
+	}
+	putint(counts[0] + counts[1]*7 + counts[2]*49 + counts[3]*63 + counts[4]*91 + counts[5]*101);
+	return 0;
+}`
+	gen := func(seed int64, n int) string {
+		rng := rand.New(rand.NewSource(seed))
+		letters := "uuuuuuuuuuoiea" // heavily skewed toward 'u'
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			if rng.Intn(5) == 0 {
+				sb.WriteByte('x')
+			} else {
+				sb.WriteByte(letters[rng.Intn(len(letters))])
+			}
+		}
+		return sb.String()
+	}
+	train, test := gen(7, 4000), gen(8, 6000)
+	r := mustBuild(t, src, train, Options{Switch: lower.SetIII, Optimize: true})
+	if r.TotalSeqs() == 0 {
+		t.Fatalf("no sequences detected in linear switch\n%s", r.Baseline.Dump())
+	}
+	ret0, out0, s0 := runProg(t, r.Baseline, test)
+	ret1, out1, s1 := runProg(t, r.Reordered, test)
+	if ret0 != ret1 || out0 != out1 {
+		t.Fatalf("semantics changed: %q -> %q", out0, out1)
+	}
+	if r.ReorderedSeqs() == 0 {
+		t.Fatalf("skewed linear switch was not reordered: %+v", r.Results)
+	}
+	if s1.Insts >= s0.Insts {
+		t.Errorf("no instruction win: %d -> %d", s0.Insts, s1.Insts)
+	}
+}
+
+// TestRandomChainsPreserveSemantics generates random if-else chains over a
+// character and checks that reordering never changes observable behaviour,
+// with training and test inputs drawn from different distributions.
+func TestRandomChainsPreserveSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		src, alphabet := randomChainProgram(rng)
+		train := randomInput(rng, alphabet, 1500)
+		test := randomInput(rng, alphabet, 2500)
+		r, err := Build(src, []byte(train), Options{Switch: lower.SetIII, Optimize: true})
+		if err != nil {
+			t.Fatalf("trial %d: Build: %v\nsrc:\n%s", trial, err, src)
+		}
+		ret0, out0, _ := runProg(t, r.Baseline, test)
+		ret1, out1, _ := runProg(t, r.Reordered, test)
+		if ret0 != ret1 || out0 != out1 {
+			t.Fatalf("trial %d: semantics changed: ret %d->%d out %q->%q\nsrc:\n%s\nreordered:\n%s",
+				trial, ret0, ret1, out0, out1, src, r.Reordered.Dump())
+		}
+	}
+}
+
+// randomChainProgram builds a program with a random comparison chain,
+// random comparison operators, occasional side effects between conditions,
+// and distinct observable actions per branch.
+func randomChainProgram(rng *rand.Rand) (string, string) {
+	n := 2 + rng.Intn(5)
+	var sb strings.Builder
+	sb.WriteString("int tally[16];\nint extra = 0;\nint main() {\n\tint c;\n")
+	sb.WriteString("\twhile ((c = getchar()) != EOF) {\n")
+	ops := []string{"==", "<", "<=", ">", ">="}
+	alphabet := "abcdefghijklmnop"
+	indent := "\t\t"
+	for i := 0; i < n; i++ {
+		cmp := string(alphabet[rng.Intn(len(alphabet))])
+		op := ops[rng.Intn(len(ops))]
+		var cond string
+		if rng.Intn(3) == 0 {
+			lo := alphabet[rng.Intn(8)]
+			hi := lo + byte(rng.Intn(6))
+			cond = fmt.Sprintf("c >= '%c' && c <= '%c'", lo, hi)
+		} else {
+			cond = fmt.Sprintf("c %s '%s'", op, cmp)
+		}
+		if i == 0 {
+			fmt.Fprintf(&sb, "%sif (%s)\n%s\ttally[%d]++;\n", indent, cond, indent, i)
+		} else {
+			withSE := rng.Intn(3) == 0
+			if withSE {
+				fmt.Fprintf(&sb, "%selse {\n%s\textra++;\n%s\tif (%s)\n%s\t\ttally[%d]++;\n",
+					indent, indent, indent, cond, indent, i)
+				indent += "\t"
+			} else {
+				fmt.Fprintf(&sb, "%selse if (%s)\n%s\ttally[%d]++;\n", indent, cond, indent, i)
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "%selse\n%s\ttally[15]++;\n", indent, indent)
+	for len(indent) > 2 {
+		indent = indent[:len(indent)-1]
+		fmt.Fprintf(&sb, "%s}\n", indent)
+	}
+	sb.WriteString("\t}\n\tint i;\n\tfor (i = 0; i < 16; i++) { putint(tally[i]); putchar(' '); }\n")
+	sb.WriteString("\tputint(extra);\n\treturn 0;\n}\n")
+	return sb.String(), alphabet + "qrstuv"
+}
+
+func randomInput(rng *rand.Rand, alphabet string, n int) string {
+	// Skew the distribution so reordering has something to exploit.
+	weights := make([]int, len(alphabet))
+	for i := range weights {
+		weights[i] = rng.Intn(20) + 1
+	}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		r := rng.Intn(total)
+		for j, w := range weights {
+			if r < w {
+				sb.WriteByte(alphabet[j])
+				break
+			}
+			r -= w
+		}
+	}
+	return sb.String()
+}

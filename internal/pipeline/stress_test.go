@@ -1,0 +1,34 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"branchreorder/internal/lower"
+)
+
+func TestRandomChainsStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	for seed := int64(100); seed < 110; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 20; trial++ {
+			src, alphabet := randomChainProgram(rng)
+			train := randomInput(rng, alphabet, 800)
+			test := randomInput(rng, alphabet, 1200)
+			for _, h := range []lower.HeuristicSet{lower.SetI, lower.SetIII} {
+				r, err := Build(src, []byte(train), Options{Switch: h, Optimize: true})
+				if err != nil {
+					t.Fatalf("seed %d trial %d: %v\n%s", seed, trial, err, src)
+				}
+				ret0, out0, _ := runProg(t, r.Baseline, test)
+				ret1, out1, _ := runProg(t, r.Reordered, test)
+				if ret0 != ret1 || out0 != out1 {
+					t.Fatalf("seed %d trial %d: semantics changed\nsrc:\n%s\nout0=%q\nout1=%q\nreordered:\n%s",
+						seed, trial, src, out0, out1, r.Reordered.Dump())
+				}
+			}
+		}
+	}
+}

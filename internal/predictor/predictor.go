@@ -1,0 +1,93 @@
+// Package predictor implements the dynamic branch predictors of the
+// paper's evaluation: (m,n) predictors with m=0, i.e. per-branch tables of
+// n-bit saturating counters indexed by branch identity. Table 5 uses a
+// (0,2) predictor with 2048 entries (the SPARC Ultra I's); Table 6 sweeps
+// (0,1) and (0,2) predictors from 32 to 2048 entries.
+package predictor
+
+import "fmt"
+
+// Bimodal is a (0,n) predictor: a table of n-bit saturating up/down
+// counters indexed by branch ID modulo the table size. Prediction is
+// taken when the counter is in the upper half of its range.
+type Bimodal struct {
+	name    string
+	bits    int
+	entries int
+	table   []uint8
+	max     uint8
+	thresh  uint8
+
+	Mispredicts uint64
+	Branches    uint64
+}
+
+// NewBimodal builds a (0,bits) predictor with the given number of table
+// entries. Counters start at the weakly-not-taken value.
+func NewBimodal(bits, entries int) *Bimodal {
+	if bits < 1 || bits > 8 {
+		panic(fmt.Sprintf("predictor: counter width %d out of range", bits))
+	}
+	if entries <= 0 {
+		panic("predictor: table must have at least one entry")
+	}
+	max := uint8(1<<bits - 1)
+	b := &Bimodal{
+		name:    fmt.Sprintf("(0,%d)x%d", bits, entries),
+		bits:    bits,
+		entries: entries,
+		table:   make([]uint8, entries),
+		max:     max,
+		thresh:  uint8(1 << (bits - 1)),
+	}
+	if bits > 1 {
+		for i := range b.table {
+			b.table[i] = b.thresh - 1 // weakly not taken
+		}
+	}
+	return b
+}
+
+// Name identifies the configuration, e.g. "(0,2)x2048".
+func (b *Bimodal) Name() string { return b.name }
+
+// Entries reports the table size.
+func (b *Bimodal) Entries() int { return b.entries }
+
+// Bits reports the counter width.
+func (b *Bimodal) Bits() int { return b.bits }
+
+// Observe records one executed branch: it predicts, updates the counter,
+// and returns whether the prediction was correct.
+func (b *Bimodal) Observe(id int, taken bool) bool {
+	idx := id % b.entries
+	if idx < 0 {
+		idx += b.entries
+	}
+	ctr := b.table[idx]
+	predictTaken := ctr >= b.thresh
+	if taken && ctr < b.max {
+		b.table[idx] = ctr + 1
+	} else if !taken && ctr > 0 {
+		b.table[idx] = ctr - 1
+	}
+	b.Branches++
+	correct := predictTaken == taken
+	if !correct {
+		b.Mispredicts++
+	}
+	return correct
+}
+
+// Reset clears counts and counters.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		if b.bits > 1 {
+			b.table[i] = b.thresh - 1
+		} else {
+			b.table[i] = 0
+		}
+	}
+	b.Mispredicts = 0
+	b.Branches = 0
+}

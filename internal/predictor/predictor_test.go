@@ -1,0 +1,136 @@
+package predictor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBimodal2BitWarmup(t *testing.T) {
+	p := NewBimodal(2, 16)
+	// Counters start weakly-not-taken; the first taken branch is a
+	// misprediction, the second is predicted correctly.
+	if correct := p.Observe(0, true); correct {
+		t.Error("first taken branch should mispredict from weakly-not-taken")
+	}
+	if correct := p.Observe(0, true); !correct {
+		t.Error("second taken branch should be predicted")
+	}
+	if p.Branches != 2 || p.Mispredicts != 1 {
+		t.Errorf("counts = %d/%d, want 2/1", p.Branches, p.Mispredicts)
+	}
+}
+
+func TestBimodal2BitHysteresis(t *testing.T) {
+	p := NewBimodal(2, 16)
+	for i := 0; i < 10; i++ {
+		p.Observe(5, true)
+	}
+	// One not-taken blip must not flip the prediction.
+	p.Observe(5, false)
+	if correct := p.Observe(5, true); !correct {
+		t.Error("2-bit counter lost its bias after a single blip")
+	}
+}
+
+func TestBimodal1BitFlipsImmediately(t *testing.T) {
+	p := NewBimodal(1, 16)
+	p.Observe(5, true)  // mispredict, counter -> 1
+	p.Observe(5, true)  // correct
+	p.Observe(5, false) // mispredict, counter -> 0
+	if correct := p.Observe(5, true); correct {
+		t.Error("1-bit counter should have flipped to not-taken")
+	}
+}
+
+func TestAliasingBySize(t *testing.T) {
+	// Branches 0 and 8 alias in an 8-entry table but not in a 16-entry
+	// one; with opposite outcomes the small table must mispredict more.
+	small := NewBimodal(2, 8)
+	big := NewBimodal(2, 16)
+	for i := 0; i < 200; i++ {
+		for _, p := range []*Bimodal{small, big} {
+			p.Observe(0, true)
+			p.Observe(8, false)
+		}
+	}
+	if small.Mispredicts <= big.Mispredicts {
+		t.Errorf("aliasing not visible: small=%d big=%d", small.Mispredicts, big.Mispredicts)
+	}
+	if big.Mispredicts > 4 {
+		t.Errorf("big table should track both branches nearly perfectly, got %d", big.Mispredicts)
+	}
+}
+
+func TestAlternatingWorstCase(t *testing.T) {
+	// Strict alternation defeats a 1-bit counter completely (after
+	// warmup every branch mispredicts) but a 2-bit counter gets ~50%.
+	one := NewBimodal(1, 4)
+	two := NewBimodal(2, 4)
+	taken := false
+	for i := 0; i < 1000; i++ {
+		one.Observe(1, taken)
+		two.Observe(1, taken)
+		taken = !taken
+	}
+	if one.Mispredicts < 990 {
+		t.Errorf("1-bit on alternation: %d mispredicts, want ~1000", one.Mispredicts)
+	}
+	if two.Mispredicts < 400 || two.Mispredicts > 600 {
+		t.Errorf("2-bit on alternation: %d mispredicts, want ~500", two.Mispredicts)
+	}
+}
+
+func TestBiasedBranchAccuracy(t *testing.T) {
+	p := NewBimodal(2, 64)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		p.Observe(i%32, rng.Intn(100) < 95) // 95% taken
+	}
+	rate := float64(p.Mispredicts) / float64(p.Branches)
+	if rate > 0.12 {
+		t.Errorf("misprediction rate %.3f on 95%%-biased branches, want < 0.12", rate)
+	}
+}
+
+func TestResetAndName(t *testing.T) {
+	p := NewBimodal(2, 2048)
+	if p.Name() != "(0,2)x2048" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if p.Bits() != 2 || p.Entries() != 2048 {
+		t.Error("accessors wrong")
+	}
+	p.Observe(1, true)
+	p.Reset()
+	if p.Branches != 0 || p.Mispredicts != 0 {
+		t.Error("Reset did not clear counts")
+	}
+	if correct := p.Observe(1, true); correct {
+		t.Error("Reset did not clear counters")
+	}
+}
+
+func TestNegativeIDsWrapSafely(t *testing.T) {
+	p := NewBimodal(2, 8)
+	p.Observe(-3, true) // must not panic
+	if p.Branches != 1 {
+		t.Error("negative ID not counted")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { NewBimodal(0, 8) },
+		func() { NewBimodal(9, 8) },
+		func() { NewBimodal(2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad constructor did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

@@ -1,0 +1,92 @@
+// Package sim measures an executable the way the paper's evaluation does:
+// one interpreted run collects the dynamic instruction mix, feeds every
+// branch to a battery of predictors (Tables 5 and 6), and derives cycle
+// counts for each machine model (Table 7).
+package sim
+
+import (
+	"fmt"
+
+	"branchreorder/internal/interp"
+	"branchreorder/internal/ir"
+	"branchreorder/internal/machine"
+	"branchreorder/internal/predictor"
+)
+
+// PredictorSweep is the (0,1)/(0,2) × 32..2048 battery of Table 6.
+func PredictorSweep() []*predictor.Bimodal {
+	var out []*predictor.Bimodal
+	for _, bits := range []int{1, 2} {
+		for entries := 32; entries <= 2048; entries *= 2 {
+			out = append(out, predictor.NewBimodal(bits, entries))
+		}
+	}
+	return out
+}
+
+// Measurement is the result of running one executable on one input.
+type Measurement struct {
+	Stats  interp.Stats
+	Output string
+	Ret    int64
+
+	// Mispredicts maps predictor name (e.g. "(0,2)x2048") to the number
+	// of mispredicted conditional branches.
+	Mispredicts map[string]uint64
+
+	// Cycles maps machine name to modelled execution cycles.
+	Cycles map[string]uint64
+}
+
+// Run executes prog on input, simulating the given predictors (pass nil
+// for the full Table 6 sweep) and deriving cycles for every machine model.
+func Run(prog *ir.Program, input []byte, preds []*predictor.Bimodal) (*Measurement, error) {
+	if preds == nil {
+		preds = PredictorSweep()
+	}
+	for _, p := range preds {
+		p.Reset()
+	}
+	m := &interp.Machine{
+		Prog:  prog,
+		Input: input,
+		OnBranch: func(id int, taken bool) {
+			for _, p := range preds {
+				p.Observe(id, taken)
+			}
+		},
+	}
+	ret, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	out := &Measurement{
+		Stats:       m.Stats,
+		Output:      m.Output.String(),
+		Ret:         ret,
+		Mispredicts: make(map[string]uint64, len(preds)),
+		Cycles:      map[string]uint64{},
+	}
+	for _, p := range preds {
+		out.Mispredicts[p.Name()] = p.Mispredicts
+	}
+	for _, cfg := range machine.All() {
+		out.Cycles[cfg.Name] = Cycles(cfg, m.Stats, out.Mispredicts)
+	}
+	return out, nil
+}
+
+// Cycles evaluates the machine timing model over a run's statistics.
+func Cycles(cfg machine.Config, st interp.Stats, mispreds map[string]uint64) uint64 {
+	cycles := st.Insts + st.IndirectJumps*cfg.IJmpExtra
+	if cfg.DelaySlots {
+		cycles += st.SlotNops
+	}
+	if cfg.StaticPipeline {
+		cycles += st.TakenBranches * cfg.BranchPenalty
+	} else {
+		name := fmt.Sprintf("(0,%d)x%d", cfg.PredictorBits, cfg.PredictorEntries)
+		cycles += mispreds[name] * cfg.BranchPenalty
+	}
+	return cycles
+}

@@ -1,0 +1,439 @@
+package workload
+
+// Compiler-flavoured workloads: cb, cpp, ctags, lex, yacc.
+
+func cbWorkload() Workload {
+	return Workload{
+		Name: "cb",
+		Desc: "A Simple C Program Beautifier",
+		Source: `
+// cb: re-indent C source by brace depth, squeeze blanks, keep comments
+// and strings intact. Character dispatch dominates.
+int main() {
+	int c;
+	int depth = 0;
+	int atBOL = 1;
+	int inComment = 0;
+	int inString = 0;
+	int lastBlank = 0;
+	int i;
+	while ((c = getchar()) != EOF) {
+		if (inComment == 1) {
+			putchar(c);
+			if (c == '*') {
+				c = getchar();
+				if (c == EOF) break;
+				putchar(c);
+				if (c == '/')
+					inComment = 0;
+			}
+			continue;
+		}
+		if (inString == 1) {
+			putchar(c);
+			if (c == '\\') {
+				c = getchar();
+				if (c == EOF) break;
+				putchar(c);
+			} else if (c == '"')
+				inString = 0;
+			continue;
+		}
+		if (atBOL == 1) {
+			if (c == ' ' || c == '\t')
+				continue;      // strip old indentation
+			if (c != '\n') {
+				i = depth;
+				if (c == '}')
+					i = i - 1;
+				while (i > 0) {
+					putchar('\t');
+					i = i - 1;
+				}
+				atBOL = 0;
+			}
+		}
+		if (c == '{') {
+			depth = depth + 1;
+			putchar(c);
+		} else if (c == '}') {
+			if (depth > 0)
+				depth = depth - 1;
+			putchar(c);
+		} else if (c == '"') {
+			inString = 1;
+			putchar(c);
+		} else if (c == '/') {
+			putchar(c);
+			c = getchar();
+			if (c == EOF) break;
+			if (c == '*')
+				inComment = 1;
+			putchar(c);
+		} else if (c == '\n') {
+			putchar(c);
+			atBOL = 1;
+			lastBlank = 0;
+		} else if (c == ' ' || c == '\t') {
+			if (lastBlank == 0)
+				putchar(' ');
+			lastBlank = 1;
+			continue;
+		} else {
+			putchar(c);
+		}
+		lastBlank = 0;
+	}
+	putint(depth); putchar('\n');
+	return 0;
+}`,
+		Train: func() []byte { return cSourceInput(1111, 700) },
+		Test:  func() []byte { return cSourceInput(1212, 1100) },
+	}
+}
+
+func cppWorkload() Workload {
+	return Workload{
+		Name: "cpp",
+		Desc: "C Compiler Preprocessor",
+		Source: `
+// cpp: recognize preprocessor directives (dispatched through a switch on
+// the first directive letter), strip comments, count conditional nesting,
+// and pass other text through.
+int includes = 0, defines = 0, conds = 0, others = 0;
+int main() {
+	int c;
+	int atBOL = 1;
+	int depth = 0;
+	while ((c = getchar()) != EOF) {
+		if (atBOL == 1 && c == '#') {
+			c = getchar();
+			switch (c) {
+			case 'i':	// include, ifdef, if
+				c = getchar();
+				if (c == 'n')
+					includes = includes + 1;
+				else {
+					conds = conds + 1;
+					depth = depth + 1;
+				}
+				break;
+			case 'd':	// define
+				defines = defines + 1;
+				break;
+			case 'e':	// endif, else
+				c = getchar();
+				if (c == 'n') {
+					if (depth > 0)
+						depth = depth - 1;
+				}
+				conds = conds + 1;
+				break;
+			case 'u':	// undef
+				defines = defines + 1;
+				break;
+			default:
+				others = others + 1;
+				break;
+			}
+			// Swallow the rest of the directive line.
+			while (c != '\n' && c != EOF)
+				c = getchar();
+			if (c == EOF)
+				break;
+			atBOL = 1;
+			continue;
+		}
+		if (c == '/') {
+			c = getchar();
+			if (c == '*') {
+				// Comment: skip to the closing marker.
+				int prev = 0;
+				while ((c = getchar()) != EOF) {
+					if (prev == '*' && c == '/')
+						break;
+					prev = c;
+				}
+				if (c == EOF)
+					break;
+				continue;
+			}
+			putchar('/');
+			if (c == EOF)
+				break;
+		}
+		putchar(c);
+		atBOL = 0;
+		if (c == '\n')
+			atBOL = 1;
+	}
+	putint(includes); putchar(' ');
+	putint(defines); putchar(' ');
+	putint(conds); putchar(' ');
+	putint(others); putchar('\n');
+	return 0;
+}`,
+		Train: func() []byte { return cSourceInput(1313, 800) },
+		Test:  func() []byte { return cSourceInput(1414, 1200) },
+	}
+}
+
+func ctagsWorkload() Workload {
+	return Workload{
+		Name: "ctags",
+		Desc: "Generates Tag File for vi",
+		Source: `
+// ctags: scan identifiers and report ones directly followed by an open
+// parenthesis at brace depth zero (function definitions, roughly).
+int ident[64];
+int tags = 0;
+int main() {
+	int c;
+	int n = 0;
+	int depth = 0;
+	int line = 1;
+	int i;
+	while ((c = getchar()) != EOF) {
+		if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_') {
+			if (n < 64) {
+				ident[n] = c;
+				n = n + 1;
+			}
+			continue;
+		}
+		if (c >= '0' && c <= '9') {
+			if (n > 0 && n < 64) {	// digits continue an identifier
+				ident[n] = c;
+				n = n + 1;
+			}
+			continue;
+		}
+		if (c == '(' && n > 0 && depth == 0) {
+			for (i = 0; i < n; i++)
+				putchar(ident[i]);
+			putchar(' ');
+			putint(line);
+			putchar('\n');
+			tags = tags + 1;
+		}
+		n = 0;
+		if (c == '{')
+			depth = depth + 1;
+		else if (c == '}') {
+			if (depth > 0)
+				depth = depth - 1;
+		} else if (c == '\n')
+			line = line + 1;
+	}
+	putint(tags); putchar('\n');
+	return 0;
+}`,
+		Train: func() []byte { return cSourceInput(1515, 700) },
+		Test:  func() []byte { return cSourceInput(1616, 1100) },
+	}
+}
+
+func lexWorkload() Workload {
+	return Workload{
+		Name: "lex",
+		Desc: "Lexical Analysis Program Generator",
+		Source: `
+// lex: tokenize its input the way a generated scanner would, with a
+// dispatch switch over the token's first character and classification
+// chains for the token body.
+int kws = 0, idents = 0, numbers = 0, strings = 0, ops = 0, punct = 0;
+int first[8];
+int main() {
+	int c;
+	int n;
+	while ((c = getchar()) != EOF) {
+		if (c == ' ' || c == '\t' || c == '\n')
+			continue;
+		switch (c) {
+		case '"':
+			while ((c = getchar()) != EOF && c != '"') {
+				if (c == '\\')
+					c = getchar();
+			}
+			strings = strings + 1;
+			break;
+		case '+': case '-': case '*': case '/': case '%':
+		case '<': case '>': case '=': case '!': case '&': case '|':
+			ops = ops + 1;
+			break;
+		case '(': case ')': case '{': case '}': case '[': case ']':
+		case ';': case ',': case '.': case '#': case ':':
+			punct = punct + 1;
+			break;
+		default:
+			if (c >= '0' && c <= '9') {
+				while ((c = getchar()) != EOF && c >= '0' && c <= '9')
+					;
+				numbers = numbers + 1;
+			} else if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_') {
+				n = 0;
+				first[0] = c;
+				while ((c = getchar()) != EOF &&
+				       ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+				        (c >= '0' && c <= '9') || c == '_')) {
+					n = n + 1;
+					if (n < 8)
+						first[n] = c;
+				}
+				// Tiny keyword filter: if, int, for, while, else,
+				// return -- match on first letters and length.
+				if (first[0] == 'i' && (n == 1 || n == 2))
+					kws = kws + 1;
+				else if (first[0] == 'f' && n == 2)
+					kws = kws + 1;
+				else if (first[0] == 'w' && n == 4)
+					kws = kws + 1;
+				else if (first[0] == 'e' && n == 3)
+					kws = kws + 1;
+				else if (first[0] == 'r' && n == 5)
+					kws = kws + 1;
+				else
+					idents = idents + 1;
+			}
+			break;
+		}
+	}
+	putint(kws); putchar(' ');
+	putint(idents); putchar(' ');
+	putint(numbers); putchar(' ');
+	putint(strings); putchar(' ');
+	putint(ops); putchar(' ');
+	putint(punct); putchar('\n');
+	return 0;
+}`,
+		Train: func() []byte { return cSourceInput(1717, 800) },
+		Test:  func() []byte { return cSourceInput(1818, 1200) },
+	}
+}
+
+func yaccWorkload() Workload {
+	return Workload{
+		Name: "yacc",
+		Desc: "Parsing Program Generator",
+		Source: `
+// yacc: a shift-reduce expression parser of the kind yacc generates:
+// token classification feeding a state-dispatch switch, with an explicit
+// value/operator stack.
+int vals[128];
+int opstack[128];
+int exprs = 0, errors = 0, total = 0;
+int prec(int op) {
+	if (op == '*' || op == '/')
+		return 2;
+	if (op == '+' || op == '-')
+		return 1;
+	return 0;
+}
+int apply(int a, int b, int op) {
+	switch (op) {
+	case '+': return a + b;
+	case '-': return a - b;
+	case '*': return a * b;
+	case '/':
+		if (b == 0)
+			return 0;
+		return a / b;
+	}
+	return 0;
+}
+int main() {
+	int c;
+	int sp = 0, osp = 0;
+	int num = 0, innum = 0;
+	int expect = 0;	// 0: operand, 1: operator
+	while (1) {
+		c = getchar();
+		if (c >= '0' && c <= '9') {
+			num = num * 10 + c - '0';
+			innum = 1;
+			continue;
+		}
+		if (innum == 1) {
+			if (sp < 128) {
+				vals[sp] = num;
+				sp = sp + 1;
+			}
+			num = 0;
+			innum = 0;
+			expect = 1;
+		}
+		if (c == ' ' || c == '\t')
+			continue;
+		if (c == '+' || c == '-' || c == '*' || c == '/') {
+			if (expect == 0) {
+				errors = errors + 1;
+				continue;
+			}
+			while (osp > 0 && prec(opstack[osp-1]) >= prec(c) && sp >= 2) {
+				sp = sp - 2;
+				osp = osp - 1;
+				vals[sp] = apply(vals[sp], vals[sp+1], opstack[osp]);
+				sp = sp + 1;
+			}
+			if (osp < 128) {
+				opstack[osp] = c;
+				osp = osp + 1;
+			}
+			expect = 0;
+			continue;
+		}
+		if (c == '\n' || c == EOF) {
+			while (osp > 0 && sp >= 2) {
+				sp = sp - 2;
+				osp = osp - 1;
+				vals[sp] = apply(vals[sp], vals[sp+1], opstack[osp]);
+				sp = sp + 1;
+			}
+			if (sp == 1) {
+				total = total + vals[0];
+				exprs = exprs + 1;
+			} else if (sp > 1)
+				errors = errors + 1;
+			sp = 0;
+			osp = 0;
+			expect = 0;
+			if (c == EOF)
+				break;
+			continue;
+		}
+		errors = errors + 1;
+	}
+	putint(exprs); putchar(' ');
+	putint(errors); putchar(' ');
+	putint(total); putchar('\n');
+	return 0;
+}`,
+		Train: func() []byte { return exprInput(1919, 600) },
+		Test:  func() []byte { return exprInput(2020, 900) },
+	}
+}
+
+// exprInput generates arithmetic expression lines for the yacc workload.
+func exprInput(seed uint64, nLines int) []byte {
+	g := newLCG(seed)
+	var out []byte
+	for i := 0; i < nLines; i++ {
+		terms := 1 + g.intn(6)
+		for t := 0; t < terms; t++ {
+			if t > 0 {
+				out = append(out, ' ', g.pick("+-*/"), ' ')
+			}
+			v := 1 + g.intn(999)
+			var digits []byte
+			for v > 0 {
+				digits = append(digits, byte('0'+v%10))
+				v /= 10
+			}
+			for d := len(digits) - 1; d >= 0; d-- {
+				out = append(out, digits[d])
+			}
+		}
+		out = append(out, '\n')
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package workload
+
+// Text-processing workloads: wc, hyphen, deroff, pr, ptx.
+
+func wcWorkload() Workload {
+	return Workload{
+		Name: "wc",
+		Desc: "Displays Count of Lines, Words, and Characters",
+		Source: `
+// wc: the classic character-classification loop. The blank/tab/newline
+// tests are the paper's Figure 1 situation: most characters are letters,
+// so testing the common case first wins.
+int lines = 0, words = 0, chars = 0;
+int main() {
+	int c;
+	int inword = 0;
+	while ((c = getchar()) != EOF) {
+		chars = chars + 1;
+		if (c == '\n')
+			lines = lines + 1;
+		if (c == ' ' || c == '\t' || c == '\n')
+			inword = 0;
+		else if (inword == 0) {
+			words = words + 1;
+			inword = 1;
+		}
+	}
+	putint(lines); putchar(' ');
+	putint(words); putchar(' ');
+	putint(chars); putchar('\n');
+	return 0;
+}`,
+		Train: func() []byte { return textInput(101, 6000, 30) },
+		Test:  func() []byte { return textInput(202, 9000, 25) },
+	}
+}
+
+func hyphenWorkload() Workload {
+	return Workload{
+		Name: "hyphen",
+		Desc: "Lists Hyphenated Words in a File",
+		Source: `
+// hyphen: emit words containing a hyphen. Word-boundary classification
+// dominates; the hyphen test's probability shifts between training and
+// test inputs, which is what hurt this program in the paper.
+int buf[96];
+int nout = 0;
+int main() {
+	int c;
+	int n = 0;
+	int hasHyphen = 0;
+	int i;
+	while ((c = getchar()) != EOF) {
+		if (c == ' ' || c == '\t' || c == '\n' || c == '.' || c == ',' ||
+		    c == ';' || c == ':' || c == '!' || c == '?') {
+			if (hasHyphen == 1 && n > 0) {
+				for (i = 0; i < n; i++)
+					putchar(buf[i]);
+				putchar('\n');
+				nout = nout + 1;
+			}
+			n = 0;
+			hasHyphen = 0;
+		} else {
+			if (c == '-')
+				hasHyphen = 1;
+			if (n < 96) {
+				buf[n] = c;
+				n = n + 1;
+			}
+		}
+	}
+	putint(nout); putchar('\n');
+	return 0;
+}`,
+		// Hyphens are much rarer in training than in test data: the
+		// trained ordering mispredicts the test distribution, as in the
+		// paper's hyphen result.
+		Train: func() []byte { return textInput(303, 6000, 15) },
+		Test:  func() []byte { return textInput(404, 9000, 220) },
+	}
+}
+
+func deroffWorkload() Workload {
+	return Workload{
+		Name: "deroff",
+		Desc: "Removes nroff Constructs",
+		Source: `
+// deroff: strip roff requests and escapes, keep the prose.
+int main() {
+	int c;
+	int atBOL = 1;      // at beginning of line
+	int skipLine = 0;   // inside a dot request
+	while ((c = getchar()) != EOF) {
+		if (skipLine == 1) {
+			if (c == '\n') {
+				skipLine = 0;
+				atBOL = 1;
+			}
+			continue;
+		}
+		if (atBOL == 1 && c == '.') {
+			skipLine = 1;
+			continue;
+		}
+		atBOL = 0;
+		if (c == '\\') {
+			// Escape: swallow the next character, double backslash
+			// emits one.
+			c = getchar();
+			if (c == EOF)
+				break;
+			if (c == '\\')
+				putchar(c);
+			continue;
+		}
+		if (c == '\n')
+			atBOL = 1;
+		putchar(c);
+	}
+	return 0;
+}`,
+		Train: func() []byte { return roffInput(505, 900) },
+		Test:  func() []byte { return roffInput(606, 1400) },
+	}
+}
+
+func prWorkload() Workload {
+	return Workload{
+		Name: "pr",
+		Desc: "Prepares File(s) for Printing",
+		Source: `
+// pr: paginate with headers, expand tabs to 8-column stops, number lines.
+int page = 1;
+int main() {
+	int c;
+	int line = 0;
+	int col = 0;
+	int atBOL = 1;
+	while ((c = getchar()) != EOF) {
+		if (atBOL == 1) {
+			if (line == 0) {
+				putchar('P'); putint(page); putchar('\n');
+			}
+			putint(line + 1);
+			putchar(' ');
+			atBOL = 0;
+			col = 0;
+		}
+		if (c == '\t') {
+			putchar(' ');
+			col = col + 1;
+			while (col % 8 != 0) {
+				putchar(' ');
+				col = col + 1;
+			}
+		} else if (c == '\n') {
+			putchar('\n');
+			line = line + 1;
+			atBOL = 1;
+			if (line == 56) {
+				line = 0;
+				page = page + 1;
+			}
+		} else if (c >= ' ') {
+			putchar(c);
+			col = col + 1;
+		} else {
+			// Control characters print as '?'.
+			putchar('?');
+			col = col + 1;
+		}
+	}
+	putint(page); putchar('\n');
+	return 0;
+}`,
+		Train: func() []byte { return textInput(707, 7000, 20) },
+		Test:  func() []byte { return textInput(808, 11000, 20) },
+	}
+}
+
+func ptxWorkload() Workload {
+	return Workload{
+		Name: "ptx",
+		Desc: "Generates a Permuted Index",
+		Source: `
+// ptx: emit "line-number word" for each index-worthy word; short words
+// and pure numbers are skipped, as real ptx skips stop words.
+int word[64];
+int main() {
+	int c;
+	int n = 0;
+	int line = 1;
+	int digitsOnly = 1;
+	int i;
+	while (1) {
+		c = getchar();
+		if (c == ' ' || c == '\t' || c == '\n' || c == EOF ||
+		    c == '.' || c == ',' || c == ';' || c == ':') {
+			if (n >= 3 && digitsOnly == 0) {
+				putint(line);
+				putchar(' ');
+				for (i = 0; i < n; i++)
+					putchar(word[i]);
+				putchar('\n');
+			}
+			n = 0;
+			digitsOnly = 1;
+			if (c == '\n')
+				line = line + 1;
+			if (c == EOF)
+				break;
+		} else {
+			if (c < '0' || c > '9')
+				digitsOnly = 0;
+			if (n < 64) {
+				word[n] = c;
+				n = n + 1;
+			}
+		}
+	}
+	putint(line); putchar('\n');
+	return 0;
+}`,
+		Train: func() []byte { return textInput(909, 5000, 25) },
+		Test:  func() []byte { return textInput(1010, 8000, 25) },
+	}
+}

@@ -1,0 +1,739 @@
+package workload
+
+// Utility workloads: awk, grep, join, nroff, sdiff, sed, sort.
+
+func grepWorkload() Workload {
+	return Workload{
+		Name: "grep",
+		Desc: "Searches a File for a String or Regular Expression",
+		Source: `
+// grep with a small real regex engine in the style of the original
+// Thompson/Pike matcher: literals, '.', '*' closures, character classes
+// [a-z], and the '^' and '$' anchors. The pattern is fixed ("t.*[mnr]"),
+// compiled into a token array at startup, and matched against every
+// input line; the matcher's inner loops are dense with the range
+// conditions the transformation targets.
+int pat[16] = "t.*[mnr]";
+int tokOp[16];   // 1=literal 2=dot 3=class 4=end
+int tokArg[16];  // literal char, or class index
+int tokStar[16]; // closure flag
+int clsLo[16]; int clsHi[16]; int clsOf[16]; // class ranges: [of..of+n)
+int ntok = 0; int ncls = 0;
+int line[256];
+int matches = 0; int lines = 0;
+int anchorBOL = 0; int anchorEOL = 0;
+
+int compile() {
+	int i = 0, t = 0, c;
+	if (pat[0] == '^') {
+		anchorBOL = 1;
+		i = 1;
+	}
+	while (pat[i] != 0) {
+		c = pat[i];
+		if (c == '$' && pat[i + 1] == 0) {
+			anchorEOL = 1;
+			break;
+		}
+		if (c == '.') {
+			tokOp[t] = 2;
+			i = i + 1;
+		} else if (c == '[') {
+			tokOp[t] = 3;
+			tokArg[t] = ncls;
+			clsOf[ncls] = 0;
+			i = i + 1;
+			// A single range per class is enough for the workload.
+			clsLo[ncls] = pat[i];
+			i = i + 2;	// skip '-'
+			clsHi[ncls] = pat[i];
+			i = i + 2;	// skip ']'
+			ncls = ncls + 1;
+		} else {
+			tokOp[t] = 1;
+			tokArg[t] = c;
+			i = i + 1;
+		}
+		if (pat[i] == '*') {
+			tokStar[t] = 1;
+			i = i + 1;
+		} else
+			tokStar[t] = 0;
+		t = t + 1;
+	}
+	tokOp[t] = 4;
+	ntok = t;
+	return t;
+}
+
+int single(int t, int c) {
+	// Does token t match character c?
+	int op = tokOp[t];
+	if (op == 2)
+		return 1;
+	if (op == 1) {
+		if (tokArg[t] == c)
+			return 1;
+		return 0;
+	}
+	if (op == 3) {
+		if (c >= clsLo[tokArg[t]] && c <= clsHi[tokArg[t]])
+			return 1;
+		return 0;
+	}
+	return 0;
+}
+
+int matchHere(int t, int pos, int len) {
+	while (1) {
+		if (tokOp[t] == 4) {
+			if (anchorEOL == 1) {
+				if (pos == len)
+					return 1;
+				return 0;
+			}
+			return 1;
+		}
+		if (tokStar[t] == 1) {
+			// Closure: try the shortest match first, then extend.
+			int p = pos;
+			while (1) {
+				if (matchHere(t + 1, p, len) == 1)
+					return 1;
+				if (p >= len)
+					return 0;
+				if (single(t, line[p]) == 0)
+					return 0;
+				p = p + 1;
+			}
+		}
+		if (pos >= len)
+			return 0;
+		if (single(t, line[pos]) == 0)
+			return 0;
+		t = t + 1;
+		pos = pos + 1;
+	}
+	return 0;
+}
+
+int matchLine(int len) {
+	int start;
+	if (anchorBOL == 1)
+		return matchHere(0, 0, len);
+	for (start = 0; start <= len; start++) {
+		if (matchHere(0, start, len) == 1)
+			return 1;
+	}
+	return 0;
+}
+
+int main() {
+	int c, n = 0, i;
+	compile();
+	while (1) {
+		c = getchar();
+		if (c == '\n' || c == EOF) {
+			lines = lines + 1;
+			if (matchLine(n) == 1) {
+				for (i = 0; i < n; i++)
+					putchar(line[i]);
+				putchar('\n');
+				matches = matches + 1;
+			}
+			n = 0;
+			if (c == EOF)
+				break;
+			continue;
+		}
+		if (n < 256) {
+			line[n] = c;
+			n = n + 1;
+		}
+	}
+	putint(matches); putchar(' '); putint(lines); putchar('\n');
+	return 0;
+}`,
+		Train: func() []byte { return textInput(2121, 5000, 25) },
+		Test:  func() []byte { return textInput(2222, 8000, 25) },
+	}
+}
+
+func sortWorkload() Workload {
+	return Workload{
+		Name: "sort",
+		Desc: "Sorts and Collates Lines",
+		Source: `
+// sort: read lines, insertion-sort them with a dictionary-order compare
+// that skips non-alphanumerics, and print them. Nearly every dynamic
+// instruction sits inside the comparison's range-condition chains, which
+// is why the paper's sort improved the most.
+int text[20000];
+int start[600];
+int len[600];
+int order[600];
+int nlines = 0;
+int classify(int c) {
+	// Dictionary order, written in the "natural" untuned order real
+	// sources use: special cases first, the common letters last — the
+	// shape the paper's transformation exploits.
+	if (c == ' ' || c == '\t')
+		return 1;
+	if (c >= '0' && c <= '9')
+		return c;
+	if (c >= 'A' && c <= 'Z')
+		return c + 32;
+	if (c >= 'a' && c <= 'z')
+		return c;
+	return 0;	// skip everything else
+}
+int cmp(int a, int b) {
+	int i = 0, j = 0, ca, cb;
+	while (1) {
+		ca = 0;
+		while (i < len[a]) {
+			ca = classify(text[start[a] + i]);
+			i = i + 1;
+			if (ca != 0)
+				break;
+			ca = 0;
+		}
+		cb = 0;
+		while (j < len[b]) {
+			cb = classify(text[start[b] + j]);
+			j = j + 1;
+			if (cb != 0)
+				break;
+			cb = 0;
+		}
+		if (ca == 0 && cb == 0)
+			return 0;
+		if (ca < cb)
+			return -1;
+		if (ca > cb)
+			return 1;
+	}
+	return 0;
+}
+int main() {
+	int c;
+	int pos = 0;
+	int i, j, k;
+	start[0] = 0;
+	while ((c = getchar()) != EOF) {
+		if (c == '\n') {
+			if (nlines < 599) {
+				len[nlines] = pos - start[nlines];
+				nlines = nlines + 1;
+				start[nlines] = pos;
+			}
+			continue;
+		}
+		if (pos < 20000) {
+			text[pos] = c;
+			pos = pos + 1;
+		}
+	}
+	for (i = 0; i < nlines; i++)
+		order[i] = i;
+	// Insertion sort.
+	for (i = 1; i < nlines; i++) {
+		k = order[i];
+		j = i - 1;
+		while (j >= 0 && cmp(order[j], k) > 0) {
+			order[j + 1] = order[j];
+			j = j - 1;
+		}
+		order[j + 1] = k;
+	}
+	for (i = 0; i < nlines; i++) {
+		for (j = 0; j < len[order[i]]; j++)
+			putchar(text[start[order[i]] + j]);
+		putchar('\n');
+	}
+	return 0;
+}`,
+		Train: func() []byte { return textInput(2323, 2500, 25) },
+		Test:  func() []byte { return textInput(2424, 3600, 25) },
+	}
+}
+
+func joinWorkload() Workload {
+	return Workload{
+		Name: "join",
+		Desc: "Relational Database Operator",
+		Source: `
+// join: merge two key-sorted relations on their first field. The merge
+// loop's three-way key comparison and the digit parsing are the branch
+// sequences.
+int keyA[800]; int valA[800];
+int keyB[800]; int valB[800];
+int joined = 0;
+int readNum() {
+	// Skip blanks, parse a nonnegative integer; -1 at end of input.
+	int c, v = 0, any = 0;
+	while (1) {
+		c = getchar();
+		if (c == ' ' || c == '\t' || c == '\n') {
+			if (any == 1)
+				return v;
+			continue;
+		}
+		if (c == EOF) {
+			if (any == 1)
+				return v;
+			return -1;
+		}
+		if (c >= '0' && c <= '9') {
+			v = v * 10 + c - '0';
+			any = 1;
+		}
+	}
+	return -1;
+}
+int main() {
+	int na, nb, i, a, b;
+	na = readNum();
+	if (na > 800)
+		na = 800;
+	for (i = 0; i < na; i++) {
+		keyA[i] = readNum();
+		valA[i] = readNum();
+	}
+	nb = readNum();
+	if (nb > 800)
+		nb = 800;
+	for (i = 0; i < nb; i++) {
+		keyB[i] = readNum();
+		valB[i] = readNum();
+	}
+	a = 0; b = 0;
+	while (a < na && b < nb) {
+		if (keyA[a] < keyB[b])
+			a = a + 1;
+		else if (keyA[a] > keyB[b])
+			b = b + 1;
+		else {
+			putint(keyA[a]); putchar(' ');
+			putint(valA[a]); putchar(' ');
+			putint(valB[b]); putchar('\n');
+			joined = joined + 1;
+			a = a + 1;
+			b = b + 1;
+		}
+	}
+	putint(joined); putchar('\n');
+	return 0;
+}`,
+		Train: func() []byte { return joinInput(2525, 500, 420) },
+		Test:  func() []byte { return joinInput(2626, 760, 700) },
+	}
+}
+
+func sdiffWorkload() Workload {
+	return Workload{
+		Name: "sdiff",
+		Desc: "Displays Files Side-by-Side",
+		Source: `
+// sdiff: the input holds two sections separated by a '%' line; compare
+// them line by line and print each pair with a gutter marker.
+int text[24000];
+int start[800]; int len[800];
+int nlines = 0; int sep = -1;
+int main() {
+	int c, pos = 0, i, j, a, b, same, width, diffs = 0;
+	start[0] = 0;
+	while ((c = getchar()) != EOF) {
+		if (c == '\n') {
+			if (nlines < 799) {
+				len[nlines] = pos - start[nlines];
+				if (len[nlines] == 1 && text[start[nlines]] == '%' && sep < 0)
+					sep = nlines;
+				nlines = nlines + 1;
+				start[nlines] = pos;
+			}
+			continue;
+		}
+		if (pos < 24000) {
+			text[pos] = c;
+			pos = pos + 1;
+		}
+	}
+	if (sep < 0)
+		sep = nlines;
+	a = 0;
+	b = sep + 1;
+	while (a < sep || b < nlines) {
+		same = 0;
+		if (a < sep && b < nlines && len[a] == len[b]) {
+			same = 1;
+			for (i = 0; i < len[a]; i++) {
+				if (text[start[a] + i] != text[start[b] + i])
+					same = 0;
+			}
+		}
+		width = 0;
+		if (a < sep) {
+			for (i = 0; i < len[a] && i < 30; i++) {
+				putchar(text[start[a] + i]);
+				width = width + 1;
+			}
+		}
+		while (width < 32) {
+			putchar(' ');
+			width = width + 1;
+		}
+		if (same == 1)
+			putchar(' ');
+		else {
+			putchar('|');
+			diffs = diffs + 1;
+		}
+		putchar(' ');
+		if (b < nlines) {
+			for (j = 0; j < len[b] && j < 30; j++)
+				putchar(text[start[b] + j]);
+		}
+		putchar('\n');
+		if (a < sep) a = a + 1;
+		if (b < nlines) b = b + 1;
+	}
+	putint(diffs); putchar('\n');
+	return 0;
+}`,
+		Train: func() []byte { return sdiffInput(2727, 260) },
+		Test:  func() []byte { return sdiffInput(2828, 380) },
+	}
+}
+
+func sedWorkload() Workload {
+	return Workload{
+		Name: "sed",
+		Desc: "Stream Editor",
+		Source: `
+// sed with the fixed script "/qz/d; s/e/E/; y/-/_/": delete lines
+// containing "qz", capitalize the first 'e', transliterate hyphens.
+int line[256];
+int deleted = 0, subs = 0;
+int main() {
+	int c, n = 0, i, del, didSub;
+	while (1) {
+		c = getchar();
+		if (c == '\n' || c == EOF) {
+			del = 0;
+			for (i = 0; i + 1 < n; i++) {
+				if (line[i] == 'q' && line[i + 1] == 'z')
+					del = 1;
+			}
+			if (del == 1)
+				deleted = deleted + 1;
+			else {
+				didSub = 0;
+				for (i = 0; i < n; i++) {
+					int ch = line[i];
+					if (ch == 'e' && didSub == 0) {
+						ch = 'E';
+						didSub = 1;
+						subs = subs + 1;
+					} else if (ch == '-')
+						ch = '_';
+					putchar(ch);
+				}
+				putchar('\n');
+			}
+			n = 0;
+			if (c == EOF)
+				break;
+			continue;
+		}
+		if (n < 256) {
+			line[n] = c;
+			n = n + 1;
+		}
+	}
+	putint(deleted); putchar(' ');
+	putint(subs); putchar('\n');
+	return 0;
+}`,
+		Train: func() []byte { return textInput(2929, 5000, 40) },
+		Test:  func() []byte { return textInput(3030, 8000, 40) },
+	}
+}
+
+func nroffWorkload() Workload {
+	return Workload{
+		Name: "nroff",
+		Desc: "Text Formatter",
+		Source: `
+// nroff: honour a handful of dot requests (dispatched by a switch),
+// fill words into 60-column lines, and handle font escapes.
+int word[64];
+int main() {
+	int c, n = 0, col = 0, atBOL = 1, fill = 1, i;
+	while (1) {
+		c = getchar();
+		if (atBOL == 1 && c == '.') {
+			// Request line: dispatch on the first letter.
+			c = getchar();
+			switch (c) {
+			case 'b':	// .br
+				if (col > 0) { putchar('\n'); col = 0; }
+				break;
+			case 's':	// .sp
+				if (col > 0) { putchar('\n'); col = 0; }
+				putchar('\n');
+				break;
+			case 'f':	// .fi
+				fill = 1;
+				break;
+			case 'n':	// .nf
+				fill = 0;
+				if (col > 0) { putchar('\n'); col = 0; }
+				break;
+			case 'p':	// .pp
+				if (col > 0) { putchar('\n'); col = 0; }
+				putchar(' '); putchar(' ');
+				col = 2;
+				break;
+			default:
+				break;
+			}
+			while (c != '\n' && c != EOF)
+				c = getchar();
+			if (c == EOF)
+				break;
+			continue;
+		}
+		if (c == '\\') {
+			c = getchar();	// swallow font escapes
+			if (c == EOF)
+				break;
+			continue;
+		}
+		if (c == ' ' || c == '\t' || c == '\n' || c == EOF) {
+			if (n > 0) {
+				if (fill == 1 && col + n + 1 > 60) {
+					putchar('\n');
+					col = 0;
+				}
+				if (col > 0) {
+					putchar(' ');
+					col = col + 1;
+				}
+				for (i = 0; i < n; i++)
+					putchar(word[i]);
+				col = col + n;
+				n = 0;
+			}
+			if (fill == 0 && c == '\n') {
+				putchar('\n');
+				col = 0;
+			}
+			atBOL = 0;
+			if (c == '\n')
+				atBOL = 1;
+			if (c == EOF)
+				break;
+			continue;
+		}
+		atBOL = 0;
+		if (n < 64) {
+			word[n] = c;
+			n = n + 1;
+		}
+	}
+	if (col > 0)
+		putchar('\n');
+	return 0;
+}`,
+		Train: func() []byte { return roffInput(3131, 900) },
+		Test:  func() []byte { return roffInput(3232, 1400) },
+	}
+}
+
+func awkWorkload() Workload {
+	return Workload{
+		Name: "awk",
+		Desc: "Pattern Scanning and Processing Language",
+		Source: `
+// awk interpreting a fixed little program over each record:
+//
+//	/42/          { hits++ }
+//	$1 > $2       { bigger++ }
+//	{ sum += $1; nf += NF; if (NF % 3 == 1) odd++ }
+//
+// Field splitting classifies every character; the pattern match compares
+// digits against the literal; the action dispatcher switches on a
+// compiled opcode per rule, the shape a real awk's inner loop has.
+int sum = 0, bigger = 0, nf = 0, records = 0, hits = 0, odd = 0;
+int fields[32];
+int line[200];
+int rules[4] = {1, 2, 3, 0};	// compiled program: opcodes, 0 ends
+int runRule(int op, int nfld, int len) {
+	int i;
+	switch (op) {
+	case 1:	// /42/ pattern: substring match on the raw record
+		for (i = 0; i + 1 < len; i++) {
+			if (line[i] == '4' && line[i + 1] == '2') {
+				hits = hits + 1;
+				return 1;
+			}
+		}
+		break;
+	case 2:	// $1 > $2
+		if (nfld >= 2 && fields[0] > fields[1])
+			bigger = bigger + 1;
+		break;
+	case 3:	// unconditional action block
+		if (nfld > 0)
+			sum = sum + fields[0];
+		nf = nf + nfld;
+		if (nfld % 3 == 1)
+			odd = odd + 1;
+		break;
+	default:
+		break;
+	}
+	return 0;
+}
+int main() {
+	int c, nfld = 0, v = 0, infld = 0, len = 0, r;
+	while (1) {
+		c = getchar();
+		// Separator tests first, the way field splitters are written;
+		// the common case (a digit) comes last in source order.
+		if (c == ' ' || c == '\t') {
+			if (infld == 1) {
+				if (nfld < 32) {
+					fields[nfld] = v;
+					nfld = nfld + 1;
+				}
+				v = 0;
+				infld = 0;
+			}
+			if (len < 200) {
+				line[len] = c;
+				len = len + 1;
+			}
+			continue;
+		}
+		if (c >= '0' && c <= '9') {
+			v = v * 10 + c - '0';
+			infld = 1;
+			if (len < 200) {
+				line[len] = c;
+				len = len + 1;
+			}
+			continue;
+		}
+		if (infld == 1) {
+			if (nfld < 32) {
+				fields[nfld] = v;
+				nfld = nfld + 1;
+			}
+			v = 0;
+			infld = 0;
+		}
+		if (c == '\n' || c == EOF) {
+			if (nfld > 0 || len > 0) {
+				records = records + 1;
+				r = 0;
+				while (rules[r] != 0) {
+					runRule(rules[r], nfld, len);
+					r = r + 1;
+				}
+			}
+			nfld = 0;
+			len = 0;
+			if (c == EOF)
+				break;
+			continue;
+		}
+		// Non-numeric junk terminates the current field but stays in
+		// the raw record for pattern matching.
+		if (len < 200) {
+			line[len] = c;
+			len = len + 1;
+		}
+	}
+	putint(records); putchar(' ');
+	putint(nf); putchar(' ');
+	putint(sum); putchar(' ');
+	putint(bigger); putchar(' ');
+	putint(hits); putchar(' ');
+	putint(odd); putchar('\n');
+	return 0;
+}`,
+		Train: func() []byte { return numericLines(3333, 1800, 6, 10000) },
+		Test:  func() []byte { return numericLines(3434, 2800, 6, 10000) },
+	}
+}
+
+// joinInput emits the join workload's format: a count line, that many
+// sorted "key value" lines, then a second table the same way.
+func joinInput(seed uint64, n1, n2 int) []byte {
+	g := newLCG(seed)
+	table := func(n int) []byte {
+		var out []byte
+		out = appendInt(out, n)
+		out = append(out, '\n')
+		key := 0
+		for i := 0; i < n; i++ {
+			key += 1 + g.intn(4) // sorted, with gaps so joins are partial
+			out = appendInt(out, key)
+			out = append(out, ' ')
+			out = appendInt(out, g.intn(1000))
+			out = append(out, '\n')
+		}
+		return out
+	}
+	out := table(n1)
+	out = append(out, table(n2)...)
+	return out
+}
+
+// sdiffInput builds two mostly-similar sections separated by '%'.
+func sdiffInput(seed uint64, nLines int) []byte {
+	g := newLCG(seed)
+	lines := make([][]byte, nLines)
+	for i := range lines {
+		var l []byte
+		for w := 0; w < 2+g.intn(4); w++ {
+			if w > 0 {
+				l = append(l, ' ')
+			}
+			l = g.word(l, 7)
+		}
+		lines[i] = l
+	}
+	var out []byte
+	for _, l := range lines {
+		out = append(out, l...)
+		out = append(out, '\n')
+	}
+	out = append(out, '%', '\n')
+	for _, l := range lines {
+		cp := append([]byte(nil), l...)
+		if g.intn(4) == 0 && len(cp) > 0 {
+			cp[g.intn(len(cp))] = byte('a' + g.intn(26))
+		}
+		out = append(out, cp...)
+		out = append(out, '\n')
+	}
+	return out
+}
+
+func appendInt(dst []byte, v int) []byte {
+	if v == 0 {
+		return append(dst, '0')
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append(digits, byte('0'+v%10))
+		v /= 10
+	}
+	for i := len(digits) - 1; i >= 0; i-- {
+		dst = append(dst, digits[i])
+	}
+	return dst
+}
