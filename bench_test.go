@@ -2,9 +2,10 @@ package branchreorder
 
 // One benchmark per table and figure of the paper's evaluation. The
 // expensive part — compiling and measuring 17 workloads under three
-// switch heuristic sets — happens once in a shared fixture; each
-// benchmark then regenerates its experiment from the measurements and
-// reports the headline number as a custom metric, so
+// switch heuristic sets — happens once in a shared fixture (built on
+// bench's parallel, memoizing engine); each benchmark then regenerates
+// its experiment from the measurements and reports the headline number
+// as a custom metric, so
 //
 //	go test -bench=. -benchmem
 //

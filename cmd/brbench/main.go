@@ -1,88 +1,154 @@
 // Command brbench regenerates the paper's evaluation. With no flags it
 // runs the full suite (17 workloads × 3 heuristic sets) and prints every
 // table and figure; -table and -figure select individual experiments.
+// Builds and measurements run on a bounded worker pool (-j, default
+// GOMAXPROCS) and are memoized, so the full suite compiles each
+// (workload, heuristic set) pair exactly once and every table and figure
+// renders from the shared cache; output is byte-identical for any -j.
 //
 //	brbench                 # everything
+//	brbench -j 4            # same, at most 4 concurrent builds
 //	brbench -table 4        # dynamic frequency measurements
 //	brbench -figure 13      # sequence lengths under Heuristic Set III
+//	brbench -workloads wc,sort -table 8   # a subset of the roster
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"time"
 
 	"branchreorder/internal/bench"
 	"branchreorder/internal/lower"
+	"branchreorder/internal/workload"
 )
 
 func main() {
-	var (
-		table    = flag.Int("table", 0, "render only this table (2-8)")
-		figure   = flag.Int("figure", 0, "render only this figure (11-13)")
-		ablation = flag.Bool("ablation", false, "run the design-choice ablation study instead")
-		quiet    = flag.Bool("q", false, "suppress progress output")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *ablation {
-		rows, err := bench.RunAblation(lower.SetIII, nil)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "brbench:", err)
-			os.Exit(1)
-		}
-		fmt.Print(bench.AblationTable(lower.SetIII, rows))
-		return
+// run is main with its dependencies injected, so tests can assert the
+// parallel engine's output byte-for-byte against the serial one.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("brbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		table     = fs.Int("table", 0, "render only this table (2-8)")
+		figure    = fs.Int("figure", 0, "render only this figure (11-13)")
+		ablation  = fs.Bool("ablation", false, "run the design-choice ablation study instead")
+		quiet     = fs.Bool("q", false, "suppress progress output and the timing summary")
+		jobs      = fs.Int("j", 0, "max concurrent build+measure jobs (<=0 means GOMAXPROCS)")
+		workloads = fs.String("workloads", "", "comma-separated workload subset (default: all 17)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	names, ws, err := selectWorkloads(*workloads)
+	if err != nil {
+		fmt.Fprintln(stderr, "brbench:", err)
+		return 1
 	}
 
 	// Tables 2 and 3 need no measurements.
 	switch *table {
 	case 2:
-		fmt.Print(bench.Table2())
-		return
+		fmt.Fprint(stdout, bench.Table2())
+		return 0
 	case 3:
-		fmt.Print(bench.Table3())
-		return
+		fmt.Fprint(stdout, bench.Table3())
+		return 0
 	}
 
-	var progress io.Writer = os.Stderr
+	var progress io.Writer = stderr
 	if *quiet {
 		progress = nil
 	}
-	suite, err := bench.RunSuite(progress)
+	engine := bench.NewEngine(*jobs, progress)
+	start := time.Now()
+	ctx := context.Background()
+	defer func() {
+		if !*quiet {
+			st := engine.Stats()
+			fmt.Fprintf(stderr, "brbench: %d builds, %d cache hits, %.2fs elapsed (-j %d)\n",
+				st.Builds, st.Hits, time.Since(start).Seconds(), engine.Jobs())
+		}
+	}()
+
+	if *ablation {
+		rows, err := bench.RunAblationWith(ctx, engine, lower.SetIII, names)
+		if err != nil {
+			fmt.Fprintln(stderr, "brbench:", err)
+			return 1
+		}
+		fmt.Fprint(stdout, bench.AblationTable(lower.SetIII, rows))
+		return 0
+	}
+
+	suite, err := engine.SuiteOf(ctx, ws)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "brbench:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "brbench:", err)
+		return 1
 	}
 
 	switch {
 	case *table != 0:
 		text, err := tableText(suite, *table)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "brbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "brbench:", err)
+			return 1
 		}
-		fmt.Print(text)
+		fmt.Fprint(stdout, text)
 	case *figure != 0:
 		text, err := suite.Figure(*figure)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "brbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "brbench:", err)
+			return 1
 		}
-		fmt.Print(text)
+		fmt.Fprint(stdout, text)
 	default:
-		fmt.Print(bench.Table2(), "\n")
-		fmt.Print(bench.Table3(), "\n")
+		fmt.Fprint(stdout, bench.Table2(), "\n")
+		fmt.Fprint(stdout, bench.Table3(), "\n")
 		for n := 4; n <= 8; n++ {
 			text, _ := tableText(suite, n)
-			fmt.Print(text, "\n")
+			fmt.Fprint(stdout, text, "\n")
 		}
 		for n := 11; n <= 13; n++ {
 			text, _ := suite.Figure(n)
-			fmt.Print(text, "\n")
+			fmt.Fprint(stdout, text, "\n")
 		}
 	}
+	return 0
+}
+
+// selectWorkloads resolves the -workloads flag: empty means the whole
+// roster (nil names, so the ablation's default applies too).
+func selectWorkloads(flagVal string) ([]string, []workload.Workload, error) {
+	if flagVal == "" {
+		return nil, workload.All(), nil
+	}
+	var names []string
+	var ws []workload.Workload
+	for _, n := range strings.Split(flagVal, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		w, ok := workload.Named(n)
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown workload %q", n)
+		}
+		names = append(names, n)
+		ws = append(ws, w)
+	}
+	if len(ws) == 0 {
+		return nil, nil, fmt.Errorf("-workloads selected nothing")
+	}
+	return names, ws, nil
 }
 
 func tableText(s *bench.Suite, n int) (string, error) {

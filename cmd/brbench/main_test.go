@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return out.String(), errw.String(), code
+}
+
+// The determinism guard of the worker pool: brbench -j N stdout must be
+// byte-identical to serial -j 1 stdout, for a single table and for the
+// whole table+figure dump.
+func TestParallelOutputMatchesSerial(t *testing.T) {
+	for _, sel := range [][]string{
+		{"-table", "8"},
+		{}, // everything
+	} {
+		base := append([]string{"-q", "-workloads", "wc,sort,lex"}, sel...)
+		serial, _, code := capture(t, append(base, "-j", "1")...)
+		if code != 0 {
+			t.Fatalf("%v -j 1 exited %d", sel, code)
+		}
+		parallel, _, code := capture(t, append(base, "-j", "8")...)
+		if code != 0 {
+			t.Fatalf("%v -j 8 exited %d", sel, code)
+		}
+		if parallel != serial {
+			t.Errorf("%v: -j 8 stdout differs from -j 1 stdout", sel)
+		}
+		if len(serial) == 0 {
+			t.Errorf("%v: empty output", sel)
+		}
+	}
+}
+
+func TestStaticTablesNeedNoBuilds(t *testing.T) {
+	out, errw, code := capture(t, "-table", "2")
+	if code != 0 || !strings.Contains(out, "Heuristics") {
+		t.Fatalf("-table 2: code %d, out %q", code, out)
+	}
+	if strings.Contains(errw, "builds") {
+		t.Errorf("-table 2 ran the engine: %q", errw)
+	}
+}
+
+func TestSummaryLine(t *testing.T) {
+	_, errw, code := capture(t, "-workloads", "wc", "-table", "4")
+	if code != 0 {
+		t.Fatalf("exited %d", code)
+	}
+	if !strings.Contains(errw, "builds") || !strings.Contains(errw, "cache hits") {
+		t.Errorf("missing timing/cache summary on stderr: %q", errw)
+	}
+	_, errw, code = capture(t, "-q", "-workloads", "wc", "-table", "4")
+	if code != 0 {
+		t.Fatalf("-q exited %d", code)
+	}
+	if errw != "" {
+		t.Errorf("-q still wrote to stderr: %q", errw)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, _, code := capture(t, "-workloads", "nosuch", "-table", "4"); code == 0 {
+		t.Error("unknown workload accepted")
+	}
+	if _, _, code := capture(t, "-workloads", ",", "-table", "4"); code == 0 {
+		t.Error("empty workload list accepted")
+	}
+	if _, _, code := capture(t, "-workloads", "wc", "-table", "99"); code == 0 {
+		t.Error("unknown table accepted")
+	}
+	if _, _, code := capture(t, "-workloads", "wc", "-figure", "9"); code == 0 {
+		t.Error("unknown figure accepted")
+	}
+	if _, _, code := capture(t, "-nosuchflag"); code != 2 {
+		t.Error("bad flag not rejected with usage exit code")
+	}
+}
+
+// The ablation study must run through the shared engine and render.
+func TestAblationViaEngine(t *testing.T) {
+	out, _, code := capture(t, "-q", "-ablation", "-workloads", "wc,sort")
+	if code != 0 {
+		t.Fatalf("exited %d", code)
+	}
+	for _, want := range []string{"no-cmp-reuse", "wc", "sort"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation table missing %q:\n%s", want, out)
+		}
+	}
+}

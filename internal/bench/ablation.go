@@ -1,10 +1,10 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
-	"branchreorder/internal/interp"
 	"branchreorder/internal/lower"
 	"branchreorder/internal/pipeline"
 	"branchreorder/internal/workload"
@@ -23,7 +23,7 @@ type AblationVariant struct {
 
 // AblationVariants returns the studied configurations, full first.
 func AblationVariants(set lower.HeuristicSet) []AblationVariant {
-	base := pipeline.Options{Switch: set, Optimize: true}
+	base := BaseOptions(set)
 	v := func(name string, mod func(*pipeline.Options)) AblationVariant {
 		o := base
 		mod(&o)
@@ -46,8 +46,17 @@ type AblationRow struct {
 }
 
 // RunAblation measures the given workloads (all when names is empty)
-// under every variant.
+// under every variant on a fresh GOMAXPROCS-wide engine.
 func RunAblation(set lower.HeuristicSet, names []string) ([]AblationRow, error) {
+	return RunAblationWith(context.Background(), NewEngine(0, nil), set, names)
+}
+
+// RunAblationWith measures every (workload, variant) pair on e's worker
+// pool. The "full" variant shares its cache slot with the standard
+// evaluation builds, so running the ablation after the suite recompiles
+// nothing for it. Rows come back in workload order regardless of which
+// build finishes first.
+func RunAblationWith(ctx context.Context, e *Engine, set lower.HeuristicSet, names []string) ([]AblationRow, error) {
 	var ws []workload.Workload
 	if len(names) == 0 {
 		ws = workload.All()
@@ -60,33 +69,36 @@ func RunAblation(set lower.HeuristicSet, names []string) ([]AblationRow, error) 
 			ws = append(ws, w)
 		}
 	}
-	var rows []AblationRow
-	for _, w := range ws {
+	variants := AblationVariants(set)
+	grid := make([]*ProgramRun, len(ws)*len(variants))
+	err := e.gather(ctx, len(grid), func(ctx context.Context, i int) error {
+		w, v := ws[i/len(variants)], variants[i%len(variants)]
+		r, err := e.Get(ctx, w, v.Opts)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", w.Name, v.Name, err)
+		}
+		grid[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, len(ws))
+	for wi, w := range ws {
 		row := AblationRow{Workload: w.Name, Insts: map[string]uint64{}}
-		train, test := w.Train(), w.Test()
-		var refOut string
-		for i, v := range AblationVariants(set) {
-			b, err := pipeline.Build(w.Source, train, v.Opts)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", w.Name, v.Name, err)
-			}
-			m := &interp.Machine{Prog: b.Reordered, Input: test}
-			if _, err := m.Run(); err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", w.Name, v.Name, err)
-			}
-			if i == 0 {
-				refOut = m.Output.String()
-				mb := &interp.Machine{Prog: b.Baseline, Input: test}
-				if _, err := mb.Run(); err != nil {
-					return nil, err
-				}
-				row.Baseline = mb.Stats.Insts
-			} else if m.Output.String() != refOut {
+		full := grid[wi*len(variants)]
+		row.Baseline = full.Base.Stats.Insts
+		for vi, v := range variants {
+			r := grid[wi*len(variants)+vi]
+			// Every run's reordered output already matched its own
+			// baseline; requiring it to match the full variant's output
+			// too makes the check transitive across variants.
+			if r.Reord.Output != full.Reord.Output || r.Reord.Ret != full.Reord.Ret {
 				return nil, fmt.Errorf("%s/%s: output diverged", w.Name, v.Name)
 			}
-			row.Insts[v.Name] = m.Stats.Insts
+			row.Insts[v.Name] = r.Reord.Stats.Insts
 		}
-		rows = append(rows, row)
+		rows[wi] = row
 	}
 	return rows, nil
 }

@@ -3,9 +3,16 @@
 // relevant switch heuristic set, measures baseline and reordered
 // executables on the test inputs, and renders rows shaped like the
 // paper's.
+//
+// Build+measure jobs run through Engine: a bounded worker pool with a
+// per-(workload, options) memo cache, so every table, figure and the
+// ablation study share one set of builds, results aggregate in roster
+// order regardless of completion order, and the first failure cancels
+// the rest.
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -16,11 +23,12 @@ import (
 	"branchreorder/internal/workload"
 )
 
-// ProgramRun is one workload built under one heuristic set and measured
+// ProgramRun is one workload built under one configuration and measured
 // on its test input.
 type ProgramRun struct {
 	Workload workload.Workload
 	Set      lower.HeuristicSet
+	Opts     pipeline.Options
 	Build    *pipeline.BuildResult
 	Base     *sim.Measurement
 	Reord    *sim.Measurement
@@ -39,7 +47,14 @@ func PctChange(before, after uint64) float64 {
 
 // Run builds and measures one workload under one heuristic set.
 func Run(w workload.Workload, set lower.HeuristicSet) (*ProgramRun, error) {
-	b, err := pipeline.Build(w.Source, w.Train(), pipeline.Options{Switch: set, Optimize: true})
+	return RunOpts(w, BaseOptions(set))
+}
+
+// RunOpts builds and measures one workload under a full pipeline
+// configuration (ablation variants and the Section 10 extension included).
+func RunOpts(w workload.Workload, opts pipeline.Options) (*ProgramRun, error) {
+	set := opts.Switch
+	b, err := pipeline.Build(w.Source, w.Train(), opts)
 	if err != nil {
 		return nil, fmt.Errorf("%s (set %v): %w", w.Name, set, err)
 	}
@@ -59,6 +74,7 @@ func Run(w workload.Workload, set lower.HeuristicSet) (*ProgramRun, error) {
 	return &ProgramRun{
 		Workload:    w,
 		Set:         set,
+		Opts:        opts,
 		Build:       b,
 		Base:        base,
 		Reord:       reord,
@@ -78,23 +94,11 @@ func Sets() []lower.HeuristicSet {
 	return []lower.HeuristicSet{lower.SetI, lower.SetII, lower.SetIII}
 }
 
-// RunSuite executes the full evaluation. Progress lines go to progress
-// when non-nil.
+// RunSuite executes the full evaluation on a GOMAXPROCS-wide worker pool
+// (use NewEngine directly to pick the parallelism or share the cache with
+// other experiments). Progress lines go to progress when non-nil.
 func RunSuite(progress io.Writer) (*Suite, error) {
-	s := &Suite{Runs: map[lower.HeuristicSet][]*ProgramRun{}}
-	for _, set := range Sets() {
-		for _, w := range workload.All() {
-			if progress != nil {
-				fmt.Fprintf(progress, "building %-8s heuristic set %v\n", w.Name, set)
-			}
-			r, err := Run(w, set)
-			if err != nil {
-				return nil, err
-			}
-			s.Runs[set] = append(s.Runs[set], r)
-		}
-	}
-	return s, nil
+	return NewEngine(0, progress).Suite(context.Background())
 }
 
 // ReorderedSeqResults returns the per-sequence results that were applied.

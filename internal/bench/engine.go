@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"branchreorder/internal/lower"
+	"branchreorder/internal/pipeline"
+	"branchreorder/internal/workload"
+)
+
+// Key identifies one build+measure job: a workload compiled under one
+// full pipeline configuration. pipeline.Options is comparable, so ablation
+// variants and the Section 10 extension get distinct cache slots while the
+// standard per-set builds are shared by every table and figure.
+type Key struct {
+	Workload string
+	Opts     pipeline.Options
+}
+
+// BaseOptions is the standard evaluation configuration for a heuristic
+// set — what every table and figure of the paper's evaluation uses.
+func BaseOptions(set lower.HeuristicSet) pipeline.Options {
+	return pipeline.Options{Switch: set, Optimize: true}
+}
+
+// EngineStats summarizes an engine's cache behaviour.
+type EngineStats struct {
+	// Builds is the number of build+measure jobs actually executed.
+	Builds int
+	// Hits is the number of Get calls served from the cache (including
+	// calls that joined an in-flight build).
+	Hits int
+}
+
+// Engine runs build+measure jobs on a bounded worker pool and memoizes
+// every result by Key, so regenerating all of Tables 4-8, Figures 11-13
+// and the ablation study compiles and simulates each configuration
+// exactly once. An Engine is safe for concurrent use.
+type Engine struct {
+	jobs     int
+	progress io.Writer
+	sem      chan struct{}
+
+	mu    sync.Mutex // guards cache, stats, and progress writes
+	cache map[Key]*entry
+	stats EngineStats
+}
+
+// entry is one memoized job. done is closed exactly once, after run/err
+// are final; waiters block on it rather than on the worker pool.
+type entry struct {
+	done chan struct{}
+	run  *ProgramRun
+	err  error
+}
+
+// NewEngine returns an engine running at most jobs builds concurrently
+// (GOMAXPROCS when jobs <= 0). Progress lines go to progress when
+// non-nil; their order depends on scheduling, so pipe them to a log
+// destination, not into table output.
+func NewEngine(jobs int, progress io.Writer) *Engine {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		jobs:     jobs,
+		progress: progress,
+		sem:      make(chan struct{}, jobs),
+		cache:    map[Key]*entry{},
+	}
+}
+
+// Jobs reports the worker-pool bound.
+func (e *Engine) Jobs() int { return e.jobs }
+
+// Stats returns a snapshot of the cache counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+func (e *Engine) logf(format string, args ...interface{}) {
+	if e.progress == nil {
+		return
+	}
+	e.mu.Lock()
+	fmt.Fprintf(e.progress, format, args...)
+	e.mu.Unlock()
+}
+
+// Get returns the memoized run for (w, opts), building and measuring it
+// if no other caller has. Concurrent calls for the same key share one
+// build; the loser waits for the winner rather than duplicating work.
+func (e *Engine) Get(ctx context.Context, w workload.Workload, opts pipeline.Options) (*ProgramRun, error) {
+	key := Key{Workload: w.Name, Opts: opts}
+	e.mu.Lock()
+	if ent, ok := e.cache[key]; ok {
+		e.stats.Hits++
+		e.mu.Unlock()
+		select {
+		case <-ent.done:
+			return ent.run, ent.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	ent := &entry{done: make(chan struct{})}
+	e.cache[key] = ent
+	e.stats.Builds++
+	e.mu.Unlock()
+
+	// A cancellation is not a result: evict the entry so a later Get
+	// with a live context rebuilds instead of replaying the stale error.
+	defer func() {
+		if ent.err != nil && (errors.Is(ent.err, context.Canceled) || errors.Is(ent.err, context.DeadlineExceeded)) {
+			e.mu.Lock()
+			if e.cache[key] == ent {
+				delete(e.cache, key)
+				e.stats.Builds--
+			}
+			e.mu.Unlock()
+		}
+		close(ent.done)
+	}()
+	select {
+	case e.sem <- struct{}{}:
+		defer func() { <-e.sem }()
+	case <-ctx.Done():
+		ent.err = ctx.Err()
+		return nil, ent.err
+	}
+	if err := ctx.Err(); err != nil {
+		ent.err = err
+		return nil, err
+	}
+	e.logf("building %-8s heuristic set %v%s\n", w.Name, opts.Switch, optsSuffix(opts))
+	ent.run, ent.err = RunOpts(w, opts)
+	return ent.run, ent.err
+}
+
+// optsSuffix labels non-default configurations in progress output.
+func optsSuffix(o pipeline.Options) string {
+	var parts []string
+	if o.CommonSuccessor {
+		parts = append(parts, "+common-succ")
+	}
+	if o.Transform.NoBoundOrder {
+		parts = append(parts, "no-bound-order")
+	}
+	if o.Transform.NoCmpReuse {
+		parts = append(parts, "no-cmp-reuse")
+	}
+	if o.Transform.NoTailDup {
+		parts = append(parts, "no-tail-dup")
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	s := " ["
+	for i, p := range parts {
+		if i > 0 {
+			s += ","
+		}
+		s += p
+	}
+	return s + "]"
+}
+
+// gather runs fn for every index of an n-element job list on the engine's
+// pool and waits for all of them. The first non-cancellation error wins
+// and cancels the remaining jobs; results are for the caller to place by
+// index, so aggregation order never depends on completion order.
+func (e *Engine) gather(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := fn(ctx, i); err != nil {
+				mu.Lock()
+				if firstErr == nil && !errors.Is(err, context.Canceled) {
+					firstErr = err
+					cancel()
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Suite builds and measures every workload under every heuristic set.
+func (e *Engine) Suite(ctx context.Context) (*Suite, error) {
+	return e.SuiteOf(ctx, workload.All())
+}
+
+// SuiteOf builds and measures the given workloads under every heuristic
+// set. Results are ordered exactly as ws regardless of which build
+// finishes first, so rendered tables are byte-identical across -j values.
+func (e *Engine) SuiteOf(ctx context.Context, ws []workload.Workload) (*Suite, error) {
+	sets := Sets()
+	s := &Suite{Runs: map[lower.HeuristicSet][]*ProgramRun{}}
+	for _, set := range sets {
+		s.Runs[set] = make([]*ProgramRun, len(ws))
+	}
+	err := e.gather(ctx, len(sets)*len(ws), func(ctx context.Context, i int) error {
+		set, w := sets[i/len(ws)], ws[i%len(ws)]
+		r, err := e.Get(ctx, w, BaseOptions(set))
+		if err != nil {
+			return err
+		}
+		s.Runs[set][i%len(ws)] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}

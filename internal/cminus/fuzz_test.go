@@ -1,0 +1,178 @@
+package cminus_test
+
+// Native fuzz targets for the Mini-C front end, seeded from the 17
+// workload sources plus hand-picked edge cases (the seed corpus under
+// testdata/fuzz runs as ordinary unit tests; `go test -fuzz=FuzzLexer`
+// or -fuzz=FuzzParser explores further).
+//
+// Invariants checked beyond "no panics":
+//   - lexing and parsing are deterministic (same input, same result);
+//   - a successfully lexed token stream round-trips: rendering the
+//     tokens back to source and re-lexing yields the same stream;
+//   - a successfully parsed program lexes successfully, and the
+//     semantic checker accepts or rejects it without panicking.
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"branchreorder/internal/cminus"
+	"branchreorder/internal/workload"
+)
+
+// fuzzSeeds are edge cases worth keeping next to the workload sources.
+var fuzzSeeds = []string{
+	"",
+	"int main() { return 0; }",
+	"int x = 'a'; int main() { return x; }",
+	`int main() { putchar('\n'); putchar('\\'); return '\''; }`,
+	`int s[4] = "ab"; int main() { return s[0]; }`,
+	"int main() { return 0x7fffffffffffffff; }",
+	"int main() { return 0x; }",
+	"/* unterminated",
+	`int main() { return "unterminated; }`,
+	"int main() { switch (1) { case 1: return 1; default: return 0; } }",
+	"int main() { int i; for (i = 0; i < 10; ++i) ; return i <<= 2; }",
+	"int main() { return 1 ? 2 ? 3 : 4 : 5; }",
+	strings.Repeat("(", 64) + "1" + strings.Repeat(")", 64),
+	strings.Repeat("-", 64) + "x",
+	"int main() { return 1 //",
+	"@",
+	"int main() { return 9999999999999999999999999999; }",
+}
+
+func addSeeds(f *testing.F) {
+	f.Helper()
+	for _, w := range workload.All() {
+		f.Add(w.Source)
+	}
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+}
+
+// sameToks compares token streams by content (kind, text, value, string
+// bytes), ignoring positions.
+func sameToks(a, b []cminus.Tok) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].Text != b[i].Text ||
+			a[i].Val != b[i].Val || !bytes.Equal(a[i].Str, b[i].Str) {
+			return false
+		}
+	}
+	return true
+}
+
+// renderToks prints a token stream back to lexable source, one space
+// between tokens so no pair of tokens can fuse into a longer one.
+func renderToks(toks []cminus.Tok) (string, bool) {
+	var sb strings.Builder
+	for _, t := range toks {
+		switch t.Kind {
+		case cminus.TokEOF:
+		case cminus.TokIdent, cminus.TokKeyword, cminus.TokPunct:
+			sb.WriteString(t.Text)
+		case cminus.TokInt:
+			if t.Val < 0 {
+				// Overflowed literal: its decimal rendering would not
+				// re-lex to the same value.
+				return "", false
+			}
+			sb.WriteString(strconv.FormatInt(t.Val, 10))
+		case cminus.TokString:
+			sb.WriteByte('"')
+			for _, b := range t.Str {
+				switch b {
+				case '"':
+					sb.WriteString(`\"`)
+				case '\\':
+					sb.WriteString(`\\`)
+				case '\n':
+					sb.WriteString(`\n`)
+				default:
+					sb.WriteByte(b)
+				}
+			}
+			sb.WriteByte('"')
+		default:
+			return "", false
+		}
+		sb.WriteByte(' ')
+	}
+	return sb.String(), true
+}
+
+func FuzzLexer(f *testing.F) {
+	addSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := cminus.LexAll(src)
+		again, err2 := cminus.LexAll(src)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("lexing not deterministic: %v vs %v", err, err2)
+		}
+		if err != nil {
+			if err.Error() != err2.Error() {
+				t.Fatalf("error not deterministic: %v vs %v", err, err2)
+			}
+			return
+		}
+		if !sameToks(toks, again) {
+			t.Fatal("token stream not deterministic")
+		}
+		if n := len(toks); n == 0 || toks[n-1].Kind != cminus.TokEOF {
+			t.Fatalf("token stream does not end in EOF: %v", toks)
+		}
+		for i := 1; i < len(toks); i++ {
+			a, b := toks[i-1].Pos, toks[i].Pos
+			if b.Line < a.Line || (b.Line == a.Line && b.Col < a.Col) {
+				t.Fatalf("positions go backwards: %v then %v", a, b)
+			}
+		}
+		rendered, ok := renderToks(toks)
+		if !ok {
+			return
+		}
+		back, err := cminus.LexAll(rendered)
+		if err != nil {
+			t.Fatalf("round-trip lex failed: %v\nrendered: %q", err, rendered)
+		}
+		if !sameToks(toks, back) {
+			t.Fatalf("round-trip changed the token stream\nsrc: %q\nrendered: %q", src, rendered)
+		}
+	})
+}
+
+func FuzzParser(f *testing.F) {
+	addSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := cminus.Parse(src)
+		file2, err2 := cminus.Parse(src)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("parsing not deterministic: %v vs %v", err, err2)
+		}
+		if err != nil {
+			return
+		}
+		// Anything the parser accepts must have lexed cleanly, with the
+		// same shape on every parse.
+		if _, lexErr := cminus.LexAll(src); lexErr != nil {
+			t.Fatalf("Parse succeeded but LexAll failed: %v", lexErr)
+		}
+		if len(file.Funcs) != len(file2.Funcs) || len(file.Globals) != len(file2.Globals) {
+			t.Fatalf("parse not deterministic: %d/%d funcs, %d/%d globals",
+				len(file.Funcs), len(file2.Funcs), len(file.Globals), len(file2.Globals))
+		}
+		// The checker may reject, but must not panic and must agree with
+		// itself.
+		_, cerr := cminus.Check(file)
+		_, cerr2 := cminus.Check(file2)
+		if (cerr == nil) != (cerr2 == nil) {
+			t.Fatalf("checking not deterministic: %v vs %v", cerr, cerr2)
+		}
+	})
+}

@@ -2,10 +2,30 @@ package cminus
 
 // Parser is a recursive-descent parser for Mini-C.
 type Parser struct {
-	lex *Lexer
-	tok Tok
-	err error
+	lex   *Lexer
+	tok   Tok
+	err   error
+	depth int
 }
+
+// maxDepth bounds statement and expression nesting so that hostile
+// inputs fail with a diagnostic instead of exhausting the goroutine
+// stack. Real programs nest a few dozen levels at most.
+const maxDepth = 2000
+
+// enter guards one level of recursive nesting; every call that returns
+// true must be paired with leave.
+func (p *Parser) enter() bool {
+	p.depth++
+	if p.depth > maxDepth {
+		p.fail("nesting deeper than %d levels", maxDepth)
+		p.depth--
+		return false
+	}
+	return true
+}
+
+func (p *Parser) leave() { p.depth-- }
 
 // Parse parses a translation unit.
 func Parse(src string) (*File, error) {
@@ -318,6 +338,10 @@ func (p *Parser) parseBlock() *BlockStmt {
 
 func (p *Parser) parseStmt() Stmt {
 	pos := p.tok.Pos
+	if !p.enter() {
+		return &EmptyStmt{Pos: pos}
+	}
+	defer p.leave()
 	switch {
 	case p.isPunct("{"):
 		return p.parseBlock()
@@ -476,9 +500,19 @@ var assignOps = map[string]string{
 }
 
 // parseExpr parses a full expression (assignment level).
-func (p *Parser) parseExpr() Expr { return p.parseAssign() }
+func (p *Parser) parseExpr() Expr {
+	if !p.enter() {
+		return &IntLit{Pos: p.tok.Pos}
+	}
+	defer p.leave()
+	return p.parseAssign()
+}
 
 func (p *Parser) parseAssign() Expr {
+	if !p.enter() {
+		return &IntLit{Pos: p.tok.Pos}
+	}
+	defer p.leave()
 	lhs := p.parseTernary()
 	if p.err != nil {
 		return lhs
@@ -501,6 +535,10 @@ func (p *Parser) parseAssign() Expr {
 }
 
 func (p *Parser) parseTernary() Expr {
+	if !p.enter() {
+		return &IntLit{Pos: p.tok.Pos}
+	}
+	defer p.leave()
 	cond := p.parseBinary(1)
 	if p.err != nil || !p.isPunct("?") {
 		return cond
@@ -531,6 +569,10 @@ func (p *Parser) parseBinary(minPrec int) Expr {
 
 func (p *Parser) parseUnary() Expr {
 	pos := p.tok.Pos
+	if !p.enter() {
+		return &IntLit{Pos: pos}
+	}
+	defer p.leave()
 	switch {
 	case p.isPunct("-") || p.isPunct("!") || p.isPunct("~"):
 		op := p.tok.Text
