@@ -6,11 +6,23 @@
 // (workload, heuristic set) pair exactly once and every table and figure
 // renders from the shared cache; output is byte-identical for any -j.
 //
+// With -cache-dir, results also persist in a content-addressed on-disk
+// store, so a second invocation over unchanged inputs executes zero
+// build+measure jobs. The job matrix shards across machines: -shard i/n
+// runs one deterministic partition and -export writes its measurements;
+// -merge loads exported shards and renders the full tables byte-identical
+// to a single-process run.
+//
 //	brbench                 # everything
 //	brbench -j 4            # same, at most 4 concurrent builds
 //	brbench -table 4        # dynamic frequency measurements
 //	brbench -figure 13      # sequence lengths under Heuristic Set III
 //	brbench -workloads wc,sort -table 8   # a subset of the roster
+//	brbench -cache-dir ~/.cache/brbench   # warm-start later runs
+//	brbench -shard 0/2 -export s0.json    # machine A's half of the matrix
+//	brbench -shard 1/2 -export s1.json    # machine B's half
+//	brbench -merge s0.json,s1.json        # full tables from both shards
+//	brbench -json runs.json               # machine-readable measurements
 package main
 
 import (
@@ -23,6 +35,7 @@ import (
 	"time"
 
 	"branchreorder/internal/bench"
+	"branchreorder/internal/bench/store"
 	"branchreorder/internal/lower"
 	"branchreorder/internal/workload"
 )
@@ -32,7 +45,8 @@ func main() {
 }
 
 // run is main with its dependencies injected, so tests can assert the
-// parallel engine's output byte-for-byte against the serial one.
+// parallel engine's output byte-for-byte against the serial one, and the
+// shard/merge path against the single-process one.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("brbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -43,15 +57,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		quiet     = fs.Bool("q", false, "suppress progress output and the timing summary")
 		jobs      = fs.Int("j", 0, "max concurrent build+measure jobs (<=0 means GOMAXPROCS)")
 		workloads = fs.String("workloads", "", "comma-separated workload subset (default: all 17)")
+		cacheDir  = fs.String("cache-dir", "", "persist build+measure results in this directory")
+		shardFlag = fs.String("shard", "", "run only partition i of n of the job matrix, written i/n (requires -export)")
+		export    = fs.String("export", "", "write the run's measurements to this file instead of rendering tables")
+		merge     = fs.String("merge", "", "comma-separated exported shard files to load before rendering")
+		jsonOut   = fs.String("json", "", "also write every measured run to this file as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "brbench:", err)
+		return 1
+	}
+
+	shardIdx, shardN, err := parseShard(*shardFlag)
+	if err != nil {
+		return fail(err)
+	}
+	switch {
+	case shardN > 0 && *export == "":
+		return fail(fmt.Errorf("-shard runs a partial job matrix, which cannot render tables: add -export FILE"))
+	case *merge != "" && (*export != "" || shardN > 0):
+		return fail(fmt.Errorf("-merge renders from already-exported shards; it cannot be combined with -shard/-export"))
+	case *export != "" && (*table != 0 || *figure != 0):
+		return fail(fmt.Errorf("-export serializes measurements and renders nothing; drop -table/-figure"))
+	case *ablation && (*export != "" || *merge != "" || shardN > 0 || *jsonOut != ""):
+		return fail(fmt.Errorf("-ablation cannot be combined with -shard/-export/-merge/-json"))
+	}
 
 	names, ws, err := selectWorkloads(*workloads)
 	if err != nil {
-		fmt.Fprintln(stderr, "brbench:", err)
-		return 1
+		return fail(err)
 	}
 
 	// Tables 2 and 3 need no measurements.
@@ -69,45 +106,78 @@ func run(args []string, stdout, stderr io.Writer) int {
 		progress = nil
 	}
 	engine := bench.NewEngine(*jobs, progress)
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir)
+		if err != nil {
+			return fail(err)
+		}
+		engine.UseStore(st)
+	}
 	start := time.Now()
 	ctx := context.Background()
 	defer func() {
 		if !*quiet {
 			st := engine.Stats()
-			fmt.Fprintf(stderr, "brbench: %d builds, %d cache hits, %.2fs elapsed (-j %d)\n",
-				st.Builds, st.Hits, time.Since(start).Seconds(), engine.Jobs())
+			fmt.Fprintf(stderr, "brbench: %d builds, %d cache hits", st.Builds, st.Hits)
+			if *cacheDir != "" {
+				fmt.Fprintf(stderr, ", %d disk hits, %d disk misses, %d disk invalidated",
+					st.DiskHits, st.DiskMisses, st.DiskInvalid)
+			}
+			fmt.Fprintf(stderr, ", %.2fs elapsed (-j %d)\n", time.Since(start).Seconds(), engine.Jobs())
 		}
 	}()
 
 	if *ablation {
 		rows, err := bench.RunAblationWith(ctx, engine, lower.SetIII, names)
 		if err != nil {
-			fmt.Fprintln(stderr, "brbench:", err)
-			return 1
+			return fail(err)
 		}
 		fmt.Fprint(stdout, bench.AblationTable(lower.SetIII, rows))
 		return 0
 	}
 
+	if *export != "" {
+		jobList := bench.SuiteJobs(ws)
+		if shardN > 0 {
+			jobList = bench.ShardJobs(jobList, shardIdx, shardN)
+		}
+		runs, err := engine.RunJobs(ctx, jobList)
+		if err != nil {
+			return fail(err)
+		}
+		if err := writeRecords(*export, bench.Records(runs)); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
+	if *merge != "" {
+		if err := loadShards(engine, *merge); err != nil {
+			return fail(err)
+		}
+	}
+
 	suite, err := engine.SuiteOf(ctx, ws)
 	if err != nil {
-		fmt.Fprintln(stderr, "brbench:", err)
-		return 1
+		return fail(err)
+	}
+	if *jsonOut != "" {
+		if err := writeRecords(*jsonOut, bench.Records(suite.AllRuns())); err != nil {
+			return fail(err)
+		}
 	}
 
 	switch {
 	case *table != 0:
 		text, err := tableText(suite, *table)
 		if err != nil {
-			fmt.Fprintln(stderr, "brbench:", err)
-			return 1
+			return fail(err)
 		}
 		fmt.Fprint(stdout, text)
 	case *figure != 0:
 		text, err := suite.Figure(*figure)
 		if err != nil {
-			fmt.Fprintln(stderr, "brbench:", err)
-			return 1
+			return fail(err)
 		}
 		fmt.Fprint(stdout, text)
 	default:
@@ -125,8 +195,68 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// parseShard parses "-shard i/n". shardN is 0 when the flag is unset.
+func parseShard(s string) (idx, n int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	if _, err := fmt.Sscanf(s, "%d/%d", &idx, &n); err != nil || fmt.Sprintf("%d/%d", idx, n) != s {
+		return 0, 0, fmt.Errorf("-shard must be i/n (e.g. 0/2), got %q", s)
+	}
+	if n < 1 || idx < 0 || idx >= n {
+		return 0, 0, fmt.Errorf("-shard %q out of range: need 0 <= i < n", s)
+	}
+	return idx, n, nil
+}
+
+// loadShards seeds the engine's cache from every exported shard file, so
+// the suite renders without rebuilding anything the shards cover.
+func loadShards(engine *bench.Engine, files string) error {
+	for _, path := range strings.Split(files, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		recs, err := store.ReadExport(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for _, rec := range recs {
+			w, ok := workload.Named(rec.Workload)
+			if !ok {
+				return fmt.Errorf("%s: unknown workload %q", path, rec.Workload)
+			}
+			run, err := bench.RunFromRecord(rec, w)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			engine.Seed(run)
+		}
+	}
+	return nil
+}
+
+// writeRecords dumps records to path in the export/-json format.
+func writeRecords(path string, recs []*store.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := store.WriteExport(f, recs)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
 // selectWorkloads resolves the -workloads flag: empty means the whole
-// roster (nil names, so the ablation's default applies too).
+// roster (nil names, so the ablation's default applies too). An unknown
+// name fails listing the valid roster, so a typo is self-correcting.
 func selectWorkloads(flagVal string) ([]string, []workload.Workload, error) {
 	if flagVal == "" {
 		return nil, workload.All(), nil
@@ -140,7 +270,7 @@ func selectWorkloads(flagVal string) ([]string, []workload.Workload, error) {
 		}
 		w, ok := workload.Named(n)
 		if !ok {
-			return nil, nil, fmt.Errorf("unknown workload %q", n)
+			return nil, nil, fmt.Errorf("unknown workload %q; valid workloads: %s", n, rosterNames())
 		}
 		names = append(names, n)
 		ws = append(ws, w)
@@ -149,6 +279,18 @@ func selectWorkloads(flagVal string) ([]string, []workload.Workload, error) {
 		return nil, nil, fmt.Errorf("-workloads selected nothing")
 	}
 	return names, ws, nil
+}
+
+// rosterNames lists every workload name, comma-separated.
+func rosterNames() string {
+	var sb strings.Builder
+	for i, w := range workload.All() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(w.Name)
+	}
+	return sb.String()
 }
 
 func tableText(s *bench.Suite, n int) (string, error) {

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -81,6 +84,135 @@ func TestBadInputs(t *testing.T) {
 	}
 	if _, _, code := capture(t, "-nosuchflag"); code != 2 {
 		t.Error("bad flag not rejected with usage exit code")
+	}
+}
+
+// Two exported shards merged back together must render byte-identically
+// to a single-process run, with zero builds in the merge step.
+func TestShardExportMergeMatchesSingleProcess(t *testing.T) {
+	dir := t.TempDir()
+	s0, s1 := filepath.Join(dir, "s0.json"), filepath.Join(dir, "s1.json")
+	base := []string{"-q", "-workloads", "wc,sort,lex"}
+
+	single, _, code := capture(t, base...)
+	if code != 0 {
+		t.Fatalf("single-process run exited %d", code)
+	}
+	if _, _, code := capture(t, append(base, "-shard", "0/2", "-export", s0)...); code != 0 {
+		t.Fatalf("shard 0/2 exited %d", code)
+	}
+	if _, _, code := capture(t, append(base, "-shard", "1/2", "-export", s1)...); code != 0 {
+		t.Fatalf("shard 1/2 exited %d", code)
+	}
+	merged, stderr, code := capture(t, "-workloads", "wc,sort,lex", "-merge", s0+","+s1)
+	if code != 0 {
+		t.Fatalf("merge exited %d: %s", code, stderr)
+	}
+	if merged != single {
+		t.Errorf("merged stdout differs from single-process stdout")
+	}
+	if !strings.Contains(stderr, "0 builds") {
+		t.Errorf("merge rebuilt jobs the shards already measured: %q", stderr)
+	}
+}
+
+// A second run against a warm -cache-dir must execute zero builds and
+// print identical tables.
+func TestCacheDirWarmRun(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-workloads", "wc,sort", "-cache-dir", dir, "-table", "4"}
+	cold, coldErr, code := capture(t, args...)
+	if code != 0 {
+		t.Fatalf("cold run exited %d", code)
+	}
+	if !strings.Contains(coldErr, "disk hits") || !strings.Contains(coldErr, "disk misses") {
+		t.Errorf("summary missing disk-tier counters: %q", coldErr)
+	}
+	warm, warmErr, code := capture(t, args...)
+	if code != 0 {
+		t.Fatalf("warm run exited %d", code)
+	}
+	if warm != cold {
+		t.Errorf("warm-cache stdout differs from cold stdout")
+	}
+	if !strings.Contains(warmErr, "brbench: 0 builds") {
+		t.Errorf("warm run still built: %q", warmErr)
+	}
+	if strings.Contains(warmErr, "0 disk hits") {
+		t.Errorf("warm run served nothing from disk: %q", warmErr)
+	}
+}
+
+// -json must dump one record per (heuristic set, workload) pair in the
+// export schema.
+func TestJSONDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.json")
+	_, _, code := capture(t, "-q", "-workloads", "wc,sort", "-table", "4", "-json", path)
+	if code != 0 {
+		t.Fatalf("exited %d", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  int `json:"schema"`
+		Records []struct {
+			Workload string          `json:"workload"`
+			Set      int             `json:"set"`
+			Options  json.RawMessage `json:"options"`
+			Base     json.RawMessage `json:"base"`
+			Reord    json.RawMessage `json:"reord"`
+			Static   int64           `json:"staticBase"`
+		} `json:"records"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if doc.Schema == 0 {
+		t.Error("-json output missing schema version")
+	}
+	if want := 3 * 2; len(doc.Records) != want { // 3 sets × 2 workloads
+		t.Errorf("%d records, want %d", len(doc.Records), want)
+	}
+	for _, r := range doc.Records {
+		if r.Workload == "" || r.Base == nil || r.Reord == nil || r.Static <= 0 {
+			t.Errorf("incomplete record: %+v", r)
+		}
+	}
+}
+
+// An unknown -workloads name must fail listing the valid roster.
+func TestUnknownWorkloadListsRoster(t *testing.T) {
+	_, stderr, code := capture(t, "-workloads", "nosuch", "-table", "4")
+	if code == 0 {
+		t.Fatal("unknown workload accepted")
+	}
+	for _, want := range []string{`"nosuch"`, "valid workloads", "wc", "yacc", "hyphen"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("error does not mention %q: %q", want, stderr)
+		}
+	}
+}
+
+func TestShardFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-shard", "0/2"},                            // -shard without -export
+		{"-shard", "2/2", "-export", "x.json"},       // index out of range
+		{"-shard", "0-2", "-export", "x.json"},       // malformed
+		{"-shard", "0/2/9", "-export", "x.json"},     // trailing junk
+		{"-shard", "-1/2", "-export", "x.json"},      // negative
+		{"-merge", "a.json", "-export", "b.json"},    // merge+export
+		{"-merge", "a.json", "-shard", "0/2"},        // merge+shard
+		{"-export", "x.json", "-table", "4"},         // export renders nothing
+		{"-ablation", "-merge", "a.json"},            // ablation+merge
+		{"-ablation", "-json", "x.json"},             // ablation+json
+		{"-merge", filepath.Join(t.TempDir(), "missing.json")}, // unreadable shard
+	}
+	for _, args := range cases {
+		if _, _, code := capture(t, args...); code == 0 {
+			t.Errorf("%v accepted", args)
+		}
 	}
 }
 

@@ -51,6 +51,22 @@ func RunAblation(set lower.HeuristicSet, names []string) ([]AblationRow, error) 
 	return RunAblationWith(context.Background(), NewEngine(0, nil), set, names)
 }
 
+// AblationJobs enumerates the (workload × variant) grid in deterministic
+// order — workloads outer, variants inner — the way SuiteJobs enumerates
+// the standard matrix. The "full" variant's options equal BaseOptions, so
+// its jobs hit the same memo slots (and the same disk-store fingerprints)
+// as the standard evaluation builds.
+func AblationJobs(set lower.HeuristicSet, ws []workload.Workload) []Job {
+	variants := AblationVariants(set)
+	jobs := make([]Job, 0, len(ws)*len(variants))
+	for _, w := range ws {
+		for _, v := range variants {
+			jobs = append(jobs, Job{Workload: w, Opts: v.Opts})
+		}
+	}
+	return jobs
+}
+
 // RunAblationWith measures every (workload, variant) pair on e's worker
 // pool. The "full" variant shares its cache slot with the standard
 // evaluation builds, so running the ablation after the suite recompiles
@@ -70,12 +86,12 @@ func RunAblationWith(ctx context.Context, e *Engine, set lower.HeuristicSet, nam
 		}
 	}
 	variants := AblationVariants(set)
-	grid := make([]*ProgramRun, len(ws)*len(variants))
+	jobs := AblationJobs(set, ws)
+	grid := make([]*ProgramRun, len(jobs))
 	err := e.gather(ctx, len(grid), func(ctx context.Context, i int) error {
-		w, v := ws[i/len(variants)], variants[i%len(variants)]
-		r, err := e.Get(ctx, w, v.Opts)
+		r, err := e.Get(ctx, jobs[i].Workload, jobs[i].Opts)
 		if err != nil {
-			return fmt.Errorf("%s/%s: %w", w.Name, v.Name, err)
+			return fmt.Errorf("%s/%s: %w", jobs[i].Workload.Name, variants[i%len(variants)].Name, err)
 		}
 		grid[i] = r
 		return nil

@@ -16,25 +16,37 @@ import (
 	"fmt"
 	"io"
 
-	"branchreorder/internal/core"
+	"branchreorder/internal/bench/store"
 	"branchreorder/internal/lower"
 	"branchreorder/internal/pipeline"
 	"branchreorder/internal/sim"
 	"branchreorder/internal/workload"
 )
 
+// SeqStat is one sequence's outcome in serializable form; see
+// store.SeqStat.
+type SeqStat = store.SeqStat
+
 // ProgramRun is one workload built under one configuration and measured
-// on its test input.
+// on its test input. Everything the tables and figures consume lives in
+// the measurement and summary fields, so a run round-trips through the
+// disk store and shard exports; Build carries the compiled programs only
+// for runs produced in this process.
 type ProgramRun struct {
 	Workload workload.Workload
 	Set      lower.HeuristicSet
 	Opts     pipeline.Options
-	Build    *pipeline.BuildResult
-	Base     *sim.Measurement
-	Reord    *sim.Measurement
+	// Build is nil for runs loaded from the disk store or a merged
+	// shard: the compiled programs are not persisted.
+	Build *pipeline.BuildResult
+	Base  *sim.Measurement
+	Reord *sim.Measurement
 
 	StaticBase  int64
 	StaticReord int64
+
+	// Seqs records every detected sequence's outcome in detection order.
+	Seqs []SeqStat
 }
 
 // PctChange returns 100*(after/before - 1).
@@ -71,6 +83,14 @@ func RunOpts(w workload.Workload, opts pipeline.Options) (*ProgramRun, error) {
 		return nil, fmt.Errorf("%s (set %v): reordered output differs from baseline", w.Name, set)
 	}
 	const ijmpInsts = 3
+	seqs := make([]SeqStat, len(b.Results))
+	for i, res := range b.Results {
+		seqs[i] = SeqStat{
+			Applied:      res.Applied,
+			OrigBranches: res.OrigBranches,
+			NewBranches:  res.NewBranches,
+		}
+	}
 	return &ProgramRun{
 		Workload:    w,
 		Set:         set,
@@ -80,6 +100,7 @@ func RunOpts(w workload.Workload, opts pipeline.Options) (*ProgramRun, error) {
 		Reord:       reord,
 		StaticBase:  pipeline.StaticInsts(b.Baseline, ijmpInsts),
 		StaticReord: pipeline.StaticInsts(b.Reordered, ijmpInsts),
+		Seqs:        seqs,
 	}, nil
 }
 
@@ -87,6 +108,17 @@ func RunOpts(w workload.Workload, opts pipeline.Options) (*ProgramRun, error) {
 // are derived from it without re-running anything.
 type Suite struct {
 	Runs map[lower.HeuristicSet][]*ProgramRun
+}
+
+// AllRuns returns every run of the suite in deterministic matrix order
+// (heuristic sets in presentation order, workloads in roster order) —
+// the same order SuiteJobs enumerates.
+func (s *Suite) AllRuns() []*ProgramRun {
+	var out []*ProgramRun
+	for _, set := range Sets() {
+		out = append(out, s.Runs[set]...)
+	}
+	return out
 }
 
 // Sets lists the heuristic sets in presentation order.
@@ -101,13 +133,73 @@ func RunSuite(progress io.Writer) (*Suite, error) {
 	return NewEngine(0, progress).Suite(context.Background())
 }
 
-// ReorderedSeqResults returns the per-sequence results that were applied.
-func (r *ProgramRun) ReorderedSeqResults() []core.Result {
-	var out []core.Result
-	for _, res := range r.Build.Results {
-		if res.Applied {
-			out = append(out, res)
+// TotalSeqs reports how many reorderable sequences were detected.
+func (r *ProgramRun) TotalSeqs() int { return len(r.Seqs) }
+
+// ReorderedSeqs reports how many sequences were actually reordered.
+func (r *ProgramRun) ReorderedSeqs() int {
+	n := 0
+	for _, s := range r.Seqs {
+		if s.Applied {
+			n++
 		}
+	}
+	return n
+}
+
+// AppliedSeqs returns the stats of the sequences that were reordered.
+func (r *ProgramRun) AppliedSeqs() []SeqStat {
+	var out []SeqStat
+	for _, s := range r.Seqs {
+		if s.Applied {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Record converts the run to its serializable form for the disk store,
+// shard exports, and the -json dump.
+func (r *ProgramRun) Record() *store.Record {
+	return &store.Record{
+		Workload:    r.Workload.Name,
+		Set:         int(r.Set),
+		Opts:        r.Opts,
+		Base:        store.FromSim(r.Base),
+		Reord:       store.FromSim(r.Reord),
+		StaticBase:  r.StaticBase,
+		StaticReord: r.StaticReord,
+		Seqs:        append([]SeqStat(nil), r.Seqs...),
+	}
+}
+
+// RunFromRecord reconstitutes a run for workload w from its serialized
+// form. Build is nil; every measurement and summary a table or figure
+// consumes is restored exactly.
+func RunFromRecord(rec *store.Record, w workload.Workload) (*ProgramRun, error) {
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	if rec.Workload != w.Name {
+		return nil, fmt.Errorf("bench: record is for workload %q, not %q", rec.Workload, w.Name)
+	}
+	return &ProgramRun{
+		Workload:    w,
+		Set:         lower.HeuristicSet(rec.Set),
+		Opts:        rec.Opts,
+		Base:        rec.Base.Sim(),
+		Reord:       rec.Reord.Sim(),
+		StaticBase:  rec.StaticBase,
+		StaticReord: rec.StaticReord,
+		Seqs:        append([]SeqStat(nil), rec.Seqs...),
+	}, nil
+}
+
+// Records converts runs to their serializable form, preserving order.
+func Records(runs []*ProgramRun) []*store.Record {
+	out := make([]*store.Record, len(runs))
+	for i, r := range runs {
+		out[i] = r.Record()
 	}
 	return out
 }

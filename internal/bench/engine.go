@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sync"
 
+	"branchreorder/internal/bench/store"
 	"branchreorder/internal/lower"
 	"branchreorder/internal/pipeline"
 	"branchreorder/internal/workload"
@@ -32,9 +33,14 @@ func BaseOptions(set lower.HeuristicSet) pipeline.Options {
 type EngineStats struct {
 	// Builds is the number of build+measure jobs actually executed.
 	Builds int
-	// Hits is the number of Get calls served from the cache (including
-	// calls that joined an in-flight build).
+	// Hits is the number of Get calls served from the in-memory memo
+	// (including calls that joined an in-flight build).
 	Hits int
+
+	// Disk-tier counters; all stay zero when no store is attached.
+	DiskHits    int // jobs served from the disk store without building
+	DiskMisses  int // jobs with no usable entry on disk
+	DiskInvalid int // corrupt, truncated or schema-mismatched entries, treated as misses
 }
 
 // Engine runs build+measure jobs on a bounded worker pool and memoizes
@@ -45,6 +51,7 @@ type Engine struct {
 	jobs     int
 	progress io.Writer
 	sem      chan struct{}
+	disk     *store.Store // optional second cache tier; nil means memory-only
 
 	mu    sync.Mutex // guards cache, stats, and progress writes
 	cache map[Key]*entry
@@ -77,6 +84,27 @@ func NewEngine(jobs int, progress io.Writer) *Engine {
 
 // Jobs reports the worker-pool bound.
 func (e *Engine) Jobs() int { return e.jobs }
+
+// UseStore attaches a disk store as a second cache tier behind the
+// in-memory memo: every memo miss probes the store before building, and
+// every fresh build is written back. Attach it before the first Get.
+func (e *Engine) UseStore(s *store.Store) { e.disk = s }
+
+// Seed installs an already-measured run — typically loaded from an
+// exported shard — into the memo cache, so a later Get for the same
+// (workload, options) key is a cache hit instead of a rebuild. An
+// existing entry wins; seeding never overwrites.
+func (e *Engine) Seed(r *ProgramRun) {
+	key := Key{Workload: r.Workload.Name, Opts: r.Opts}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.cache[key]; ok {
+		return
+	}
+	done := make(chan struct{})
+	close(done)
+	e.cache[key] = &entry{done: done, run: r}
+}
 
 // Stats returns a snapshot of the cache counters.
 func (e *Engine) Stats() EngineStats {
@@ -112,7 +140,6 @@ func (e *Engine) Get(ctx context.Context, w workload.Workload, opts pipeline.Opt
 	}
 	ent := &entry{done: make(chan struct{})}
 	e.cache[key] = ent
-	e.stats.Builds++
 	e.mu.Unlock()
 
 	// A cancellation is not a result: evict the entry so a later Get
@@ -122,12 +149,41 @@ func (e *Engine) Get(ctx context.Context, w workload.Workload, opts pipeline.Opt
 			e.mu.Lock()
 			if e.cache[key] == ent {
 				delete(e.cache, key)
-				e.stats.Builds--
 			}
 			e.mu.Unlock()
 		}
 		close(ent.done)
 	}()
+
+	// Disk tier: a stored result skips the build entirely (and the
+	// worker pool — reading an entry is cheap). Anything unusable is a
+	// miss; Invalid is counted separately so invalidations are visible.
+	var fp string
+	if e.disk != nil {
+		fp = store.Fingerprint(w.Source, w.Train(), w.Test(), opts)
+		rec, st := e.disk.Get(fp)
+		if st == store.Hit {
+			run, err := RunFromRecord(rec, w)
+			if err == nil {
+				e.mu.Lock()
+				e.stats.DiskHits++
+				e.mu.Unlock()
+				e.logf("disk hit %-8s heuristic set %v%s\n", w.Name, opts.Switch, optsSuffix(opts))
+				ent.run = run
+				return ent.run, nil
+			}
+			// Decoded but would not reconstitute: as good as corrupt.
+			st = store.Invalid
+		}
+		e.mu.Lock()
+		if st == store.Invalid {
+			e.stats.DiskInvalid++
+		} else {
+			e.stats.DiskMisses++
+		}
+		e.mu.Unlock()
+	}
+
 	select {
 	case e.sem <- struct{}{}:
 		defer func() { <-e.sem }()
@@ -139,8 +195,17 @@ func (e *Engine) Get(ctx context.Context, w workload.Workload, opts pipeline.Opt
 		ent.err = err
 		return nil, err
 	}
+	e.mu.Lock()
+	e.stats.Builds++
+	e.mu.Unlock()
 	e.logf("building %-8s heuristic set %v%s\n", w.Name, opts.Switch, optsSuffix(opts))
 	ent.run, ent.err = RunOpts(w, opts)
+	if ent.err == nil && e.disk != nil {
+		// A write failure costs only the cache entry, not the run.
+		if perr := e.disk.Put(fp, ent.run.Record()); perr != nil {
+			e.logf("store write failed: %v\n", perr)
+		}
+	}
 	return ent.run, ent.err
 }
 
@@ -214,22 +279,13 @@ func (e *Engine) Suite(ctx context.Context) (*Suite, error) {
 // set. Results are ordered exactly as ws regardless of which build
 // finishes first, so rendered tables are byte-identical across -j values.
 func (e *Engine) SuiteOf(ctx context.Context, ws []workload.Workload) (*Suite, error) {
-	sets := Sets()
-	s := &Suite{Runs: map[lower.HeuristicSet][]*ProgramRun{}}
-	for _, set := range sets {
-		s.Runs[set] = make([]*ProgramRun, len(ws))
-	}
-	err := e.gather(ctx, len(sets)*len(ws), func(ctx context.Context, i int) error {
-		set, w := sets[i/len(ws)], ws[i%len(ws)]
-		r, err := e.Get(ctx, w, BaseOptions(set))
-		if err != nil {
-			return err
-		}
-		s.Runs[set][i%len(ws)] = r
-		return nil
-	})
+	runs, err := e.RunJobs(ctx, SuiteJobs(ws))
 	if err != nil {
 		return nil, err
+	}
+	s := &Suite{Runs: map[lower.HeuristicSet][]*ProgramRun{}}
+	for si, set := range Sets() {
+		s.Runs[set] = runs[si*len(ws) : (si+1)*len(ws)]
 	}
 	return s, nil
 }

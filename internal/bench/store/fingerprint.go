@@ -1,0 +1,38 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+
+	"branchreorder/internal/pipeline"
+)
+
+// Fingerprint derives the content address of one build+measure job: a
+// SHA-256 over the store schema version, the workload source, the
+// training and test inputs, and the full pipeline configuration. Each
+// section is length-prefixed so concatenations cannot collide. Any
+// change to an input changes the fingerprint, which is the store's whole
+// invalidation story; a new Options field changes the JSON encoding and
+// so invalidates automatically.
+func Fingerprint(source string, train, test []byte, opts pipeline.Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "brbench store schema %d\n", SchemaVersion)
+	section(h, "source", []byte(source))
+	section(h, "train", train)
+	section(h, "test", test)
+	ob, err := json.Marshal(opts)
+	if err != nil {
+		// Options is a flat struct of ints and bools; Marshal cannot fail.
+		panic(err)
+	}
+	section(h, "options", ob)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func section(h hash.Hash, name string, data []byte) {
+	fmt.Fprintf(h, "%s %d\n", name, len(data))
+	h.Write(data)
+}

@@ -1,0 +1,57 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzStoreDecode drives Decode (and the export reader) with hostile
+// inputs: truncated, corrupted, or adversarially-crafted store files
+// must come back as errors — i.e. cache misses — never panics and never
+// records that fail their own validation.
+func FuzzStoreDecode(f *testing.F) {
+	// Seed corpus: a valid entry and targeted corruptions of it, plus
+	// structurally-interesting JSON.
+	fp := testFingerprint()
+	good, err := Encode(fp, testRecord())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add(good[:len(good)-3])
+	f.Add(bytes.ToUpper(good))
+	f.Add(bytes.Replace(good, []byte(`"schema": 1`), []byte(`"schema": 2`), 1))
+	f.Add(bytes.Replace(good, []byte(`"sum"`), []byte(`"sun"`), 1))
+	f.Add([]byte(nil))
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"schema":1,"fingerprint":"","sum":"","record":null}`))
+	f.Add([]byte(`{"schema":1,"fingerprint":"x","sum":"00","record":{}}`))
+	f.Add([]byte(`{"schema":1,"records":[{"workload":"wc"}]}`))
+	f.Add([]byte(`[1,2,3]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, key := range []string{"", fp} {
+			rec, err := Decode(data, key)
+			if err != nil {
+				continue
+			}
+			// Whatever decodes must be internally consistent and
+			// re-encodable: the store may later serve it.
+			if verr := rec.Validate(); verr != nil {
+				t.Fatalf("Decode returned an invalid record: %v", verr)
+			}
+			if _, eerr := Encode(key, rec); eerr != nil {
+				t.Fatalf("decoded record does not re-encode: %v", eerr)
+			}
+		}
+		// The shard reader faces the same hostile bytes on -merge.
+		if recs, err := ReadExport(bytes.NewReader(data)); err == nil {
+			for _, rec := range recs {
+				if verr := rec.Validate(); verr != nil {
+					t.Fatalf("ReadExport returned an invalid record: %v", verr)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"branchreorder/internal/interp"
+	"branchreorder/internal/pipeline"
+	"branchreorder/internal/sim"
+)
+
+// SeqStat is the per-sequence outcome the static table and the
+// sequence-length figures consume: whether the sequence was reordered,
+// and its length in conditional branches before and after (NewBranches
+// is 0 when the reordering was skipped).
+type SeqStat struct {
+	Applied      bool `json:"applied"`
+	OrigBranches int  `json:"origBranches"`
+	NewBranches  int  `json:"newBranches"`
+}
+
+// Measurement mirrors sim.Measurement with a lossless output encoding:
+// JSON strings must be valid UTF-8, so program output travels as bytes
+// (base64) and survives arbitrary content byte-for-byte.
+type Measurement struct {
+	Stats       interp.Stats      `json:"stats"`
+	Output      []byte            `json:"output"`
+	Ret         int64             `json:"ret"`
+	Mispredicts map[string]uint64 `json:"mispredicts"`
+	Cycles      map[string]uint64 `json:"cycles"`
+}
+
+// FromSim converts a measurement to its serializable form.
+func FromSim(m *sim.Measurement) *Measurement {
+	if m == nil {
+		return nil
+	}
+	return &Measurement{
+		Stats:       m.Stats,
+		Output:      []byte(m.Output),
+		Ret:         m.Ret,
+		Mispredicts: m.Mispredicts,
+		Cycles:      m.Cycles,
+	}
+}
+
+// Sim converts the measurement back for the tables and figures.
+func (m *Measurement) Sim() *sim.Measurement {
+	return &sim.Measurement{
+		Stats:       m.Stats,
+		Output:      string(m.Output),
+		Ret:         m.Ret,
+		Mispredicts: m.Mispredicts,
+		Cycles:      m.Cycles,
+	}
+}
+
+// Record is the serializable form of one build+measure result: a
+// bench.ProgramRun without the in-memory programs. Everything any table,
+// figure or ablation row derives is here.
+type Record struct {
+	Workload    string           `json:"workload"`
+	Set         int              `json:"set"`
+	Opts        pipeline.Options `json:"options"`
+	Base        *Measurement     `json:"base"`
+	Reord       *Measurement     `json:"reord"`
+	StaticBase  int64            `json:"staticBase"`
+	StaticReord int64            `json:"staticReord"`
+	Seqs        []SeqStat        `json:"seqs"`
+}
+
+// Validate rejects records that could not have come from a real run.
+func (r *Record) Validate() error {
+	switch {
+	case r == nil:
+		return errors.New("store: nil record")
+	case r.Workload == "":
+		return errors.New("store: record has no workload name")
+	case r.Base == nil || r.Reord == nil:
+		return errors.New("store: record missing measurements")
+	case r.Set != int(r.Opts.Switch):
+		return fmt.Errorf("store: record set %d disagrees with options set %d", r.Set, int(r.Opts.Switch))
+	}
+	return nil
+}
+
+// envelope is the on-disk framing of one store entry. Record is kept as
+// raw JSON so the checksum covers the exact serialized payload.
+type envelope struct {
+	Schema      int             `json:"schema"`
+	Fingerprint string          `json:"fingerprint"`
+	Sum         string          `json:"sum"`
+	Record      json.RawMessage `json:"record"`
+}
+
+// Encode serializes rec as the store entry keyed by fp.
+func Encode(fp string, rec *Record) ([]byte, error) {
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	data, err := json.MarshalIndent(envelope{
+		Schema:      SchemaVersion,
+		Fingerprint: fp,
+		Sum:         hex.EncodeToString(sum[:]),
+		Record:      payload,
+	}, "", "\t")
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Decode parses one store entry. fp, when non-empty, must match the
+// fingerprint recorded inside the entry — a file renamed to the wrong
+// key is not a usable result. Every malformed input yields an error,
+// never a panic; callers treat any error as a cache miss.
+func Decode(data []byte, fp string) (*Record, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if env.Schema != SchemaVersion {
+		return nil, fmt.Errorf("store: entry schema %d, want %d", env.Schema, SchemaVersion)
+	}
+	if fp != "" && env.Fingerprint != fp {
+		return nil, errors.New("store: entry fingerprint does not match its key")
+	}
+	// The checksum covers the compact payload: indentation inside the
+	// envelope is cosmetic, content is not.
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, env.Record); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sum := sha256.Sum256(compact.Bytes())
+	if hex.EncodeToString(sum[:]) != env.Sum {
+		return nil, errors.New("store: payload checksum mismatch")
+	}
+	var rec Record
+	if err := json.Unmarshal(env.Record, &rec); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// exportFile frames a list of records: the -export shard interchange and
+// the -json dump share this format, so a -json dump can also be merged.
+type exportFile struct {
+	Schema  int       `json:"schema"`
+	Records []*Record `json:"records"`
+}
+
+// WriteExport serializes records, preserving their order.
+func WriteExport(w io.Writer, recs []*Record) error {
+	for i, rec := range recs {
+		if err := rec.Validate(); err != nil {
+			return fmt.Errorf("record %d: %w", i, err)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(exportFile{Schema: SchemaVersion, Records: recs}); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// ReadExport parses an exported shard. Unlike store entries — where a
+// bad file is just a cache miss — corruption here is a hard error: the
+// caller asked to merge exactly this data.
+func ReadExport(r io.Reader) ([]*Record, error) {
+	var f exportFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("store: export: %w", err)
+	}
+	if f.Schema != SchemaVersion {
+		return nil, fmt.Errorf("store: export schema %d, want %d", f.Schema, SchemaVersion)
+	}
+	for i, rec := range f.Records {
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("store: export record %d: %w", i, err)
+		}
+	}
+	return f.Records, nil
+}

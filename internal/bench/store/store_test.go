@@ -1,0 +1,253 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"branchreorder/internal/core"
+	"branchreorder/internal/interp"
+	"branchreorder/internal/lower"
+	"branchreorder/internal/pipeline"
+)
+
+// testRecord is a synthetic but fully-populated record; the output holds
+// invalid UTF-8 on purpose, to prove serialization is byte-lossless.
+func testRecord() *Record {
+	return &Record{
+		Workload: "wc",
+		Set:      int(lower.SetI),
+		Opts:     pipeline.Options{Switch: lower.SetI, Optimize: true},
+		Base: &Measurement{
+			Stats:       interp.Stats{Insts: 123456, CondBranches: 789, TakenBranches: 400, SlotNops: 7},
+			Output:      []byte("42 lines\xff\xfe\x00raw"),
+			Ret:         0,
+			Mispredicts: map[string]uint64{"(0,2)x2048": 55, "(0,1)x32": 99},
+			Cycles:      map[string]uint64{"SPARC Ultra I": 130000},
+		},
+		Reord: &Measurement{
+			Stats:       interp.Stats{Insts: 120000, CondBranches: 700},
+			Output:      []byte("42 lines\xff\xfe\x00raw"),
+			Ret:         0,
+			Mispredicts: map[string]uint64{"(0,2)x2048": 60, "(0,1)x32": 90},
+			Cycles:      map[string]uint64{"SPARC Ultra I": 128000},
+		},
+		StaticBase:  500,
+		StaticReord: 520,
+		Seqs: []SeqStat{
+			{Applied: true, OrigBranches: 4, NewBranches: 3},
+			{Applied: false, OrigBranches: 2, NewBranches: 0},
+		},
+	}
+}
+
+func testFingerprint() string {
+	return Fingerprint("int main() {}", []byte("train"), []byte("test"),
+		pipeline.Options{Switch: lower.SetI, Optimize: true})
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rec, fp := testRecord(), testFingerprint()
+	data, err := Encode(fp, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Errorf("round trip changed the record:\ngot  %+v\nwant %+v", got, rec)
+	}
+	if !bytes.Equal(got.Base.Output, rec.Base.Output) {
+		t.Error("binary output not byte-identical after round trip")
+	}
+}
+
+func TestDecodeRejectsBadEntries(t *testing.T) {
+	rec, fp := testRecord(), testFingerprint()
+	good, err := Encode(fp, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":      nil,
+		"garbage":    []byte("not json at all"),
+		"half json":  good[:len(good)/2],
+		"truncated":  good[:len(good)-10],
+		"bit flip":   bytes.Replace(good, []byte(`"wc"`), []byte(`"Wc"`), 1),
+		"emptied":    []byte("{}"),
+		"bad schema": bytes.Replace(good, []byte(`"schema": 1`), []byte(`"schema": 99`), 1),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data, fp); err == nil {
+			t.Errorf("%s: decoded successfully", name)
+		}
+	}
+	// A valid entry filed under the wrong key is not a usable result.
+	if _, err := Decode(good, strings.Repeat("ab", 32)); err == nil {
+		t.Error("fingerprint mismatch accepted")
+	}
+	// The empty fingerprint skips only the key check, nothing else.
+	if _, err := Decode(good, ""); err != nil {
+		t.Errorf("decode without key check failed: %v", err)
+	}
+}
+
+func TestStorePutGet(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, fp := testRecord(), testFingerprint()
+
+	if got, st := s.Get(fp); st != Miss || got != nil {
+		t.Fatalf("empty store Get = %v, %v; want nil, miss", got, st)
+	}
+	if err := s.Put(fp, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, st := s.Get(fp)
+	if st != Hit {
+		t.Fatalf("Get after Put = %v, want hit", st)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Errorf("stored record differs:\ngot  %+v\nwant %+v", got, rec)
+	}
+
+	// Overwrite is idempotent.
+	if err := s.Put(fp, rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, st := s.Get(fp); st != Hit {
+		t.Errorf("Get after second Put = %v, want hit", st)
+	}
+
+	// No orphaned temp files after successful Puts.
+	var leftovers []string
+	filepath.WalkDir(s.Dir(), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.Contains(d.Name(), ".tmp") {
+			leftovers = append(leftovers, path)
+		}
+		return nil
+	})
+	if len(leftovers) > 0 {
+		t.Errorf("temp files left behind: %v", leftovers)
+	}
+}
+
+func TestStoreCorruptEntryIsInvalid(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, fp := testRecord(), testFingerprint()
+	if err := s.Put(fp, rec); err != nil {
+		t.Fatal(err)
+	}
+	path := s.path(fp)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, bad := range map[string][]byte{
+		"truncated": data[:len(data)/3],
+		"flipped":   bytes.Replace(data, []byte("123456"), []byte("654321"), 1),
+		"empty":     {},
+	} {
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got, st := s.Get(fp); st != Invalid || got != nil {
+			t.Errorf("%s entry: Get = %v, %v; want nil, invalid", name, got, st)
+		}
+	}
+	// Rewriting heals it.
+	if err := s.Put(fp, rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, st := s.Get(fp); st != Hit {
+		t.Errorf("Get after heal = %v, want hit", st)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := testFingerprint()
+	if base != testFingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if len(base) != 64 {
+		t.Fatalf("fingerprint length %d, want 64 hex chars", len(base))
+	}
+	opts := pipeline.Options{Switch: lower.SetI, Optimize: true}
+	for name, fp := range map[string]string{
+		"source":  Fingerprint("int main() { }", []byte("train"), []byte("test"), opts),
+		"train":   Fingerprint("int main() {}", []byte("train2"), []byte("test"), opts),
+		"test":    Fingerprint("int main() {}", []byte("train"), []byte("test2"), opts),
+		"options": Fingerprint("int main() {}", []byte("train"), []byte("test"), pipeline.Options{Switch: lower.SetII, Optimize: true}),
+		"ablation": Fingerprint("int main() {}", []byte("train"), []byte("test"),
+			pipeline.Options{Switch: lower.SetI, Optimize: true,
+				Transform: core.TransformOptions{NoBoundOrder: true}}),
+	} {
+		if fp == base {
+			t.Errorf("changing %s did not change the fingerprint", name)
+		}
+	}
+	// Length-prefixed sections: moving a byte across a boundary differs.
+	a := Fingerprint("ab", []byte("c"), nil, opts)
+	b := Fingerprint("a", []byte("bc"), nil, opts)
+	if a == b {
+		t.Error("section boundaries are ambiguous")
+	}
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	recs := []*Record{testRecord(), testRecord()}
+	recs[1].Workload = "sort"
+	var buf bytes.Buffer
+	if err := WriteExport(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadExport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Errorf("export round trip changed records")
+	}
+}
+
+func TestReadExportRejects(t *testing.T) {
+	for name, data := range map[string]string{
+		"garbage":    "nope",
+		"bad schema": `{"schema":99,"records":[]}`,
+		"bad record": `{"schema":1,"records":[{"workload":""}]}`,
+	} {
+		if _, err := ReadExport(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// The export format must stay JSON-parseable by external tooling:
+// spot-check the envelope keys.
+func TestExportIsPlainJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteExport(&buf, []*Record{testRecord()}); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["schema"] != float64(SchemaVersion) {
+		t.Errorf("schema key = %v", doc["schema"])
+	}
+	if _, ok := doc["records"].([]any); !ok {
+		t.Errorf("records key missing or not a list")
+	}
+}

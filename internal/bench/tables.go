@@ -190,8 +190,8 @@ func (s *Suite) Table8() string {
 		for _, r := range runs {
 			pct := PctChange(uint64(r.StaticBase), uint64(r.StaticReord))
 			sumPct += pct
-			total := r.Build.TotalSeqs()
-			reordered := r.Build.ReorderedSeqs()
+			total := r.TotalSeqs()
+			reordered := r.ReorderedSeqs()
 			totalSeqs += total
 			pctSeqs := 0.0
 			if total > 0 {
@@ -199,7 +199,7 @@ func (s *Suite) Table8() string {
 			}
 			sumPctSeqs += pctSeqs
 			var lo, la, n float64
-			for _, res := range r.ReorderedSeqResults() {
+			for _, res := range r.AppliedSeqs() {
 				lo += float64(res.OrigBranches)
 				la += float64(res.NewBranches)
 				n++
@@ -243,7 +243,7 @@ func (s *Suite) Figure(n int) (string, error) {
 	reord := map[int]int{}
 	var sumO, sumR, cnt float64
 	for _, r := range s.Runs[set] {
-		for _, res := range r.ReorderedSeqResults() {
+		for _, res := range r.AppliedSeqs() {
 			orig[res.OrigBranches]++
 			reord[res.NewBranches]++
 			sumO += float64(res.OrigBranches)
