@@ -11,7 +11,11 @@
 // build+measure jobs. The job matrix shards across machines: -shard i/n
 // runs one deterministic partition and -export writes its measurements;
 // -merge loads exported shards and renders the full tables byte-identical
-// to a single-process run.
+// to a single-process run. Both work for -ablation too. With -store-url,
+// a fleet-shared brstored server becomes a third cache tier behind the
+// memo and the disk store: local misses are fetched remotely, fresh
+// builds are uploaded, and any remote failure falls back to the local
+// tiers without failing the run.
 //
 //	brbench                 # everything
 //	brbench -j 4            # same, at most 4 concurrent builds
@@ -19,6 +23,8 @@
 //	brbench -figure 13      # sequence lengths under Heuristic Set III
 //	brbench -workloads wc,sort -table 8   # a subset of the roster
 //	brbench -cache-dir ~/.cache/brbench   # warm-start later runs
+//	brbench -cache-dir D -cache-gc 720h   # evict month-old entries first
+//	brbench -store-url http://build42:8370  # share results fleet-wide
 //	brbench -shard 0/2 -export s0.json    # machine A's half of the matrix
 //	brbench -shard 1/2 -export s1.json    # machine B's half
 //	brbench -merge s0.json,s1.json        # full tables from both shards
@@ -36,6 +42,7 @@ import (
 
 	"branchreorder/internal/bench"
 	"branchreorder/internal/bench/store"
+	"branchreorder/internal/bench/storenet"
 	"branchreorder/internal/lower"
 	"branchreorder/internal/workload"
 )
@@ -62,6 +69,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		export    = fs.String("export", "", "write the run's measurements to this file instead of rendering tables")
 		merge     = fs.String("merge", "", "comma-separated exported shard files to load before rendering")
 		jsonOut   = fs.String("json", "", "also write every measured run to this file as JSON")
+		storeURL  = fs.String("store-url", "", "fleet-shared brstored result store (third cache tier behind -cache-dir)")
+		storeTO   = fs.Duration("store-timeout", 10*time.Second, "per-request timeout for -store-url operations")
+		cacheGC   = fs.Duration("cache-gc", 0, "before running, evict -cache-dir entries older than this age")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -82,8 +92,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(fmt.Errorf("-merge renders from already-exported shards; it cannot be combined with -shard/-export"))
 	case *export != "" && (*table != 0 || *figure != 0):
 		return fail(fmt.Errorf("-export serializes measurements and renders nothing; drop -table/-figure"))
-	case *ablation && (*export != "" || *merge != "" || shardN > 0 || *jsonOut != ""):
-		return fail(fmt.Errorf("-ablation cannot be combined with -shard/-export/-merge/-json"))
+	case *ablation && *jsonOut != "":
+		return fail(fmt.Errorf("-ablation renders no suite to dump; drop -json"))
+	case *cacheGC != 0 && *cacheDir == "":
+		return fail(fmt.Errorf("-cache-gc collects the local store; add -cache-dir DIR"))
+	case *cacheGC < 0:
+		return fail(fmt.Errorf("-cache-gc needs a positive age, got %v", *cacheGC))
 	}
 
 	names, ws, err := selectWorkloads(*workloads)
@@ -111,10 +125,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
+		if *cacheGC > 0 {
+			res, err := st.GC(*cacheGC, 0)
+			if err != nil {
+				return fail(err)
+			}
+			if !*quiet {
+				fmt.Fprintf(stderr, "brbench: cache gc evicted %d of %d entries, %d bytes kept\n",
+					res.Evicted, res.Scanned, res.Bytes)
+			}
+		}
 		engine.UseStore(st)
+	}
+	if *storeURL != "" {
+		logf := func(string, ...interface{}) {}
+		if !*quiet {
+			logf = func(format string, args ...interface{}) { fmt.Fprintf(stderr, format, args...) }
+		}
+		client, err := storenet.NewClient(*storeURL, storenet.ClientConfig{Timeout: *storeTO, Logf: logf})
+		if err != nil {
+			return fail(err)
+		}
+		engine.UseRemote(client)
 	}
 	start := time.Now()
 	ctx := context.Background()
+	var shardStats *store.TierStats // cache activity totalled from -merge inputs
 	defer func() {
 		if !*quiet {
 			st := engine.Stats()
@@ -123,11 +159,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, ", %d disk hits, %d disk misses, %d disk invalidated",
 					st.DiskHits, st.DiskMisses, st.DiskInvalid)
 			}
+			if *storeURL != "" {
+				fmt.Fprintf(stderr, ", %d remote hits, %d remote misses, %d remote fallbacks, %d remote puts",
+					st.RemoteHits, st.RemoteMisses, st.RemoteFallbacks, st.RemotePuts)
+			}
+			if shardStats != nil {
+				fmt.Fprintf(stderr, "; merged shards: %d builds, %d disk hits, %d remote hits, %d remote fallbacks",
+					shardStats.Builds, shardStats.DiskHits, shardStats.RemoteHits, shardStats.RemoteFallbacks)
+			}
 			fmt.Fprintf(stderr, ", %.2fs elapsed (-j %d)\n", time.Since(start).Seconds(), engine.Jobs())
 		}
 	}()
 
+	// exportRuns measures jobList (or its -shard partition) and writes
+	// the records plus this engine's cache counters, so a later -merge
+	// can account for every shard's activity.
+	exportRuns := func(jobList []bench.Job) int {
+		if shardN > 0 {
+			jobList = bench.ShardJobs(jobList, shardIdx, shardN)
+		}
+		runs, err := engine.RunJobs(ctx, jobList)
+		if err != nil {
+			return fail(err)
+		}
+		st := engine.Stats()
+		if err := writeRecords(*export, bench.Records(runs), &st); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
 	if *ablation {
+		if *export != "" {
+			return exportRuns(bench.AblationJobs(lower.SetIII, ws))
+		}
+		if *merge != "" {
+			if shardStats, err = loadShards(engine, *merge); err != nil {
+				return fail(err)
+			}
+		}
 		rows, err := bench.RunAblationWith(ctx, engine, lower.SetIII, names)
 		if err != nil {
 			return fail(err)
@@ -137,22 +207,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *export != "" {
-		jobList := bench.SuiteJobs(ws)
-		if shardN > 0 {
-			jobList = bench.ShardJobs(jobList, shardIdx, shardN)
-		}
-		runs, err := engine.RunJobs(ctx, jobList)
-		if err != nil {
-			return fail(err)
-		}
-		if err := writeRecords(*export, bench.Records(runs)); err != nil {
-			return fail(err)
-		}
-		return 0
+		return exportRuns(bench.SuiteJobs(ws))
 	}
 
 	if *merge != "" {
-		if err := loadShards(engine, *merge); err != nil {
+		if shardStats, err = loadShards(engine, *merge); err != nil {
 			return fail(err)
 		}
 	}
@@ -162,7 +221,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	if *jsonOut != "" {
-		if err := writeRecords(*jsonOut, bench.Records(suite.AllRuns())); err != nil {
+		st := engine.Stats()
+		if err := writeRecords(*jsonOut, bench.Records(suite.AllRuns()), &st); err != nil {
 			return fail(err)
 		}
 	}
@@ -210,8 +270,13 @@ func parseShard(s string) (idx, n int, err error) {
 }
 
 // loadShards seeds the engine's cache from every exported shard file, so
-// the suite renders without rebuilding anything the shards cover.
-func loadShards(engine *bench.Engine, files string) error {
+// the suite renders without rebuilding anything the shards cover. It
+// returns the shards' cache counters totalled together — nil when no
+// shard carried stats — so the merged summary accounts for every
+// machine's activity, not just this one's.
+func loadShards(engine *bench.Engine, files string) (*store.TierStats, error) {
+	var total store.TierStats
+	haveStats := false
 	for _, path := range strings.Split(files, ",") {
 		path = strings.TrimSpace(path)
 		if path == "" {
@@ -219,35 +284,43 @@ func loadShards(engine *bench.Engine, files string) error {
 		}
 		f, err := os.Open(path)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		recs, err := store.ReadExport(f)
+		recs, stats, err := store.ReadExport(f)
 		f.Close()
 		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if stats != nil {
+			total.Add(*stats)
+			haveStats = true
 		}
 		for _, rec := range recs {
 			w, ok := workload.Named(rec.Workload)
 			if !ok {
-				return fmt.Errorf("%s: unknown workload %q", path, rec.Workload)
+				return nil, fmt.Errorf("%s: unknown workload %q", path, rec.Workload)
 			}
 			run, err := bench.RunFromRecord(rec, w)
 			if err != nil {
-				return fmt.Errorf("%s: %w", path, err)
+				return nil, fmt.Errorf("%s: %w", path, err)
 			}
 			engine.Seed(run)
 		}
 	}
-	return nil
+	if !haveStats {
+		return nil, nil
+	}
+	return &total, nil
 }
 
-// writeRecords dumps records to path in the export/-json format.
-func writeRecords(path string, recs []*store.Record) error {
+// writeRecords dumps records (and the engine's cache counters) to path
+// in the export/-json format.
+func writeRecords(path string, recs []*store.Record, stats *store.TierStats) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	werr := store.WriteExport(f, recs)
+	werr := store.WriteExport(f, recs, stats)
 	if cerr := f.Close(); werr == nil {
 		werr = cerr
 	}

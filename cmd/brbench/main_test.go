@@ -3,10 +3,15 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"branchreorder/internal/bench/store"
+	"branchreorder/internal/bench/storenet"
 )
 
 func capture(t *testing.T, args ...string) (stdout, stderr string, code int) {
@@ -114,6 +119,40 @@ func TestShardExportMergeMatchesSingleProcess(t *testing.T) {
 	if !strings.Contains(stderr, "0 builds") {
 		t.Errorf("merge rebuilt jobs the shards already measured: %q", stderr)
 	}
+	// The shards' own cache activity must round-trip through the export
+	// files into the merged summary: 9 jobs built across both shards.
+	if !strings.Contains(stderr, "merged shards: 9 builds") {
+		t.Errorf("merged summary does not account for shard activity: %q", stderr)
+	}
+}
+
+// The ablation study must shard and merge like the suite: the merged
+// table byte-identical to the direct one, with zero rebuilds.
+func TestAblationShardMergeMatchesDirect(t *testing.T) {
+	dir := t.TempDir()
+	a0, a1 := filepath.Join(dir, "a0.json"), filepath.Join(dir, "a1.json")
+	base := []string{"-q", "-ablation", "-workloads", "wc,sort"}
+
+	direct, _, code := capture(t, base...)
+	if code != 0 {
+		t.Fatalf("direct ablation exited %d", code)
+	}
+	if _, _, code := capture(t, append(base, "-shard", "0/2", "-export", a0)...); code != 0 {
+		t.Fatalf("ablation shard 0/2 exited %d", code)
+	}
+	if _, _, code := capture(t, append(base, "-shard", "1/2", "-export", a1)...); code != 0 {
+		t.Fatalf("ablation shard 1/2 exited %d", code)
+	}
+	merged, stderr, code := capture(t, "-ablation", "-workloads", "wc,sort", "-merge", a0+","+a1)
+	if code != 0 {
+		t.Fatalf("ablation merge exited %d: %s", code, stderr)
+	}
+	if merged != direct {
+		t.Errorf("merged ablation table differs from the direct one:\n--- merged ---\n%s--- direct ---\n%s", merged, direct)
+	}
+	if !strings.Contains(stderr, "brbench: 0 builds") {
+		t.Errorf("ablation merge rebuilt sharded jobs: %q", stderr)
+	}
 }
 
 // A second run against a warm -cache-dir must execute zero builds and
@@ -205,14 +244,111 @@ func TestShardFlagValidation(t *testing.T) {
 		{"-merge", "a.json", "-export", "b.json"},    // merge+export
 		{"-merge", "a.json", "-shard", "0/2"},        // merge+shard
 		{"-export", "x.json", "-table", "4"},         // export renders nothing
-		{"-ablation", "-merge", "a.json"},            // ablation+merge
 		{"-ablation", "-json", "x.json"},             // ablation+json
+		{"-cache-gc", "1h"},                          // gc without a cache dir
+		{"-cache-gc", "-1h", "-cache-dir", t.TempDir()}, // negative age
+		{"-store-url", "not a url", "-table", "4"},   // unusable store URL
 		{"-merge", filepath.Join(t.TempDir(), "missing.json")}, // unreadable shard
 	}
 	for _, args := range cases {
 		if _, _, code := capture(t, args...); code == 0 {
 			t.Errorf("%v accepted", args)
 		}
+	}
+}
+
+// The acceptance loop of the fleet-wide store: one machine populates a
+// brstored server, and a second machine — cold memo, cold disk cache —
+// runs with zero builds and byte-identical output.
+func TestStoreURLWarmStartsColdCache(t *testing.T) {
+	pool, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(storenet.NewServer(pool).Handler())
+	defer hs.Close()
+
+	local, _, code := capture(t, "-q", "-workloads", "wc,sort", "-table", "4")
+	if code != 0 {
+		t.Fatalf("local-only run exited %d", code)
+	}
+
+	first, firstErr, code := capture(t, "-workloads", "wc,sort", "-table", "4",
+		"-cache-dir", t.TempDir(), "-store-url", hs.URL)
+	if code != 0 {
+		t.Fatalf("first -store-url run exited %d: %s", code, firstErr)
+	}
+	if !strings.Contains(firstErr, "remote misses") || !strings.Contains(firstErr, "remote puts") {
+		t.Errorf("summary missing remote counters: %q", firstErr)
+	}
+
+	second, secondErr, code := capture(t, "-workloads", "wc,sort", "-table", "4",
+		"-cache-dir", t.TempDir(), "-store-url", hs.URL)
+	if code != 0 {
+		t.Fatalf("second -store-url run exited %d: %s", code, secondErr)
+	}
+	if first != local || second != local {
+		t.Errorf("-store-url output differs from local-only output")
+	}
+	if !strings.Contains(secondErr, "brbench: 0 builds") {
+		t.Errorf("second run over a warm pool still built: %q", secondErr)
+	}
+	if strings.Contains(secondErr, "0 remote hits") || !strings.Contains(secondErr, "remote hits") {
+		t.Errorf("second run did not hit the remote store: %q", secondErr)
+	}
+}
+
+// An unreachable -store-url must cost fallbacks, not the run: output
+// stays correct and the summary reports the degradation.
+func TestStoreURLDeadServerFallsBack(t *testing.T) {
+	local, _, code := capture(t, "-q", "-workloads", "wc", "-table", "4")
+	if code != 0 {
+		t.Fatalf("local-only run exited %d", code)
+	}
+	out, stderr, code := capture(t, "-workloads", "wc", "-table", "4",
+		"-store-url", "http://127.0.0.1:1", "-store-timeout", "1s")
+	if code != 0 {
+		t.Fatalf("run with a dead store exited %d: %s", code, stderr)
+	}
+	if out != local {
+		t.Errorf("dead-store output differs from local-only output")
+	}
+	if !strings.Contains(stderr, "falling back to local tiers") {
+		t.Errorf("missing degradation notice: %q", stderr)
+	}
+	if strings.Contains(stderr, "0 remote fallbacks") || !strings.Contains(stderr, "remote fallbacks") {
+		t.Errorf("summary does not report the fallbacks: %q", stderr)
+	}
+}
+
+// -cache-gc must evict entries older than the bound before the run, so
+// the evicted jobs rebuild and the summary shows the collection.
+func TestCacheGCFlag(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-workloads", "wc", "-cache-dir", dir, "-table", "4"}
+	if _, _, code := capture(t, args...); code != 0 {
+		t.Fatal("cold run failed")
+	}
+	// Backdate every entry beyond the GC bound.
+	old := time.Now().Add(-48 * time.Hour)
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		return os.Chtimes(path, old, old)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code := capture(t, append(args, "-cache-gc", "24h")...)
+	if code != 0 {
+		t.Fatalf("gc run exited %d", code)
+	}
+	if !strings.Contains(stderr, "cache gc evicted 3 of 3 entries") {
+		t.Errorf("gc summary missing or wrong: %q", stderr)
+	}
+	if !strings.Contains(stderr, "3 builds") {
+		t.Errorf("evicted jobs were not rebuilt: %q", stderr)
 	}
 }
 

@@ -1,0 +1,134 @@
+// Command brstored serves a fleet-shared brbench result store over
+// HTTP. It wraps the same content-addressed directory store that
+// brbench -cache-dir uses (atomic writes, checksummed entries,
+// corrupt-entry-as-miss all inherited), validates every upload before it
+// touches disk, and optionally garbage-collects stale or excess entries
+// on an interval.
+//
+//	brstored -dir /var/cache/brstored                  # serve on :8370
+//	brstored -dir pool -addr 127.0.0.1:9000            # pick a port
+//	brstored -dir pool -max-bytes 1073741824           # LRU-bound to 1 GiB
+//	brstored -dir pool -max-age 720h -gc-interval 1h   # drop month-old entries
+//
+// Point workers at it with brbench -store-url http://HOST:8370; a
+// warm pool means a fresh machine runs the whole suite with zero
+// builds. GET /metrics serves plaintext counters (hits, misses, puts,
+// bytes, evictions).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"branchreorder/internal/bench/store"
+	"branchreorder/internal/bench/storenet"
+)
+
+func main() {
+	os.Exit(run(context.Background(), os.Args[1:], os.Stderr, nil))
+}
+
+// run is main with its dependencies injected. onReady, when non-nil,
+// receives the bound address once the listener is up — how tests drive
+// a server on port 0. Cancelling ctx (or SIGINT/SIGTERM) shuts the
+// server down gracefully.
+func run(ctx context.Context, args []string, stderr io.Writer, onReady func(addr string)) int {
+	fs := flag.NewFlagSet("brstored", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", ":8370", "listen address")
+		dir        = fs.String("dir", "", "backing store directory (required)")
+		maxBytes   = fs.Int64("max-bytes", 0, "evict least-recently-used entries beyond this total size (0 = unbounded)")
+		maxAge     = fs.Duration("max-age", 0, "evict entries older than this (0 = keep forever)")
+		gcInterval = fs.Duration("gc-interval", 10*time.Minute, "how often to run eviction when -max-bytes or -max-age is set")
+		quiet      = fs.Bool("q", false, "suppress startup and gc logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "brstored:", err)
+		return 1
+	}
+	if *dir == "" {
+		return fail(errors.New("-dir is required"))
+	}
+	if *gcInterval <= 0 {
+		return fail(fmt.Errorf("-gc-interval must be positive, got %v", *gcInterval))
+	}
+	st, err := store.Open(*dir)
+	if err != nil {
+		return fail(err)
+	}
+	srv := storenet.NewServer(st)
+	logf := func(format string, args ...interface{}) {
+		if !*quiet {
+			fmt.Fprintf(stderr, format, args...)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail(err)
+	}
+	logf("brstored: serving %s on http://%s\n", st.Dir(), ln.Addr())
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+
+	// The GC loop runs only when some bound is set; the first pass is
+	// immediate so a restart over an oversized pool trims it right away.
+	gcDone := make(chan struct{})
+	go func() {
+		defer close(gcDone)
+		if *maxBytes <= 0 && *maxAge <= 0 {
+			return
+		}
+		t := time.NewTicker(*gcInterval)
+		defer t.Stop()
+		for {
+			res, err := srv.GC(*maxAge, *maxBytes)
+			if err != nil {
+				logf("brstored: gc: %v\n", err)
+			} else if res.Evicted > 0 {
+				logf("brstored: gc evicted %d of %d entries, %d bytes kept\n",
+					res.Evicted, res.Scanned, res.Bytes)
+			}
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(shutCtx)
+		<-errc
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return fail(err)
+		}
+	}
+	<-gcDone
+	logf("brstored: shut down\n")
+	return 0
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"branchreorder/internal/bench/store"
+	"branchreorder/internal/bench/storenet"
+	"branchreorder/internal/interp"
+	"branchreorder/internal/lower"
+	"branchreorder/internal/pipeline"
+)
+
+func testRecord() *store.Record {
+	return &store.Record{
+		Workload: "wc",
+		Set:      int(lower.SetI),
+		Opts:     pipeline.Options{Switch: lower.SetI, Optimize: true},
+		Base:     &store.Measurement{Stats: interp.Stats{Insts: 10}, Output: []byte("x")},
+		Reord:    &store.Measurement{Stats: interp.Stats{Insts: 9}, Output: []byte("x")},
+		Seqs:     []store.SeqStat{{Applied: true, OrigBranches: 2, NewBranches: 1}},
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	ctx := context.Background()
+	var buf bytes.Buffer
+	if code := run(ctx, []string{}, &buf, nil); code == 0 {
+		t.Error("missing -dir accepted")
+	}
+	if !strings.Contains(buf.String(), "-dir") {
+		t.Errorf("error does not mention -dir: %q", buf.String())
+	}
+	if code := run(ctx, []string{"-dir", t.TempDir(), "-gc-interval", "0s"}, &buf, nil); code == 0 {
+		t.Error("zero -gc-interval accepted")
+	}
+	if code := run(ctx, []string{"-nosuchflag"}, &buf, nil); code != 2 {
+		t.Error("bad flag not rejected with usage exit code")
+	}
+}
+
+// syncBuffer lets the test read logs while the daemon goroutine writes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// The served daemon must accept a put, serve it back, expose metrics,
+// and shut down cleanly on context cancellation.
+func TestServeRoundTripAndShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrc := make(chan string, 1)
+	done := make(chan int, 1)
+	dir := t.TempDir()
+	var buf syncBuffer
+	go func() {
+		done <- run(ctx, []string{"-dir", dir, "-addr", "127.0.0.1:0"}, &buf,
+			func(addr string) { addrc <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-addrc:
+	case code := <-done:
+		t.Fatalf("brstored exited %d before listening: %s", code, buf.String())
+	case <-time.After(5 * time.Second):
+		t.Fatal("brstored never came up")
+	}
+
+	client, err := storenet.NewClient("http://"+addr, storenet.ClientConfig{Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := store.Fingerprint("src", nil, nil, pipeline.Options{Switch: lower.SetI, Optimize: true})
+	if err := client.Put(ctx, fp, testRecord()); err != nil {
+		t.Fatal(err)
+	}
+	rec, out := client.Get(ctx, fp)
+	if out != storenet.Hit || rec.Workload != "wc" {
+		t.Fatalf("round trip: %v, %+v", out, rec)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"brstored_puts 1", "brstored_hits 1"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("shutdown exited %d: %s", code, buf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("brstored did not shut down")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"branchreorder/internal/bench/store"
+	"branchreorder/internal/bench/storenet"
 	"branchreorder/internal/lower"
 	"branchreorder/internal/pipeline"
 	"branchreorder/internal/workload"
@@ -29,19 +30,11 @@ func BaseOptions(set lower.HeuristicSet) pipeline.Options {
 	return pipeline.Options{Switch: set, Optimize: true}
 }
 
-// EngineStats summarizes an engine's cache behaviour.
-type EngineStats struct {
-	// Builds is the number of build+measure jobs actually executed.
-	Builds int
-	// Hits is the number of Get calls served from the in-memory memo
-	// (including calls that joined an in-flight build).
-	Hits int
-
-	// Disk-tier counters; all stay zero when no store is attached.
-	DiskHits    int // jobs served from the disk store without building
-	DiskMisses  int // jobs with no usable entry on disk
-	DiskInvalid int // corrupt, truncated or schema-mismatched entries, treated as misses
-}
+// EngineStats summarizes an engine's cache behaviour across its tiers
+// (memo → disk → remote). It is the serializable store.TierStats, so
+// shard exports carry it and merged runs can total every shard's cache
+// activity.
+type EngineStats = store.TierStats
 
 // Engine runs build+measure jobs on a bounded worker pool and memoizes
 // every result by Key, so regenerating all of Tables 4-8, Figures 11-13
@@ -51,7 +44,8 @@ type Engine struct {
 	jobs     int
 	progress io.Writer
 	sem      chan struct{}
-	disk     *store.Store // optional second cache tier; nil means memory-only
+	disk     *store.Store     // optional second cache tier; nil means memory-only
+	remote   *storenet.Client // optional third tier: a fleet-shared brstored server
 
 	mu    sync.Mutex // guards cache, stats, and progress writes
 	cache map[Key]*entry
@@ -89,6 +83,15 @@ func (e *Engine) Jobs() int { return e.jobs }
 // in-memory memo: every memo miss probes the store before building, and
 // every fresh build is written back. Attach it before the first Get.
 func (e *Engine) UseStore(s *store.Store) { e.disk = s }
+
+// UseRemote attaches a fleet-shared network store as a third cache tier
+// behind the disk store: probed only when memo and disk both miss, and
+// written back after every fresh build. Remote hits are written through
+// to the disk tier (when one is attached) so the next run on this
+// machine warms locally. Remote failures never fail a run — the client
+// degrades to the local tiers and the fallback is counted. Attach it
+// before the first Get.
+func (e *Engine) UseRemote(c *storenet.Client) { e.remote = c }
 
 // Seed installs an already-measured run — typically loaded from an
 // exported shard — into the memo cache, so a later Get for the same
@@ -159,8 +162,10 @@ func (e *Engine) Get(ctx context.Context, w workload.Workload, opts pipeline.Opt
 	// worker pool — reading an entry is cheap). Anything unusable is a
 	// miss; Invalid is counted separately so invalidations are visible.
 	var fp string
-	if e.disk != nil {
+	if e.disk != nil || e.remote != nil {
 		fp = store.Fingerprint(w.Source, w.Train(), w.Test(), opts)
+	}
+	if e.disk != nil {
 		rec, st := e.disk.Get(fp)
 		if st == store.Hit {
 			run, err := RunFromRecord(rec, w)
@@ -184,6 +189,39 @@ func (e *Engine) Get(ctx context.Context, w workload.Workload, opts pipeline.Opt
 		e.mu.Unlock()
 	}
 
+	// Remote tier: with both local tiers cold, ask the fleet's shared
+	// store before paying for a build. A hit is written through to the
+	// disk tier so this machine serves it locally next time. Any remote
+	// failure is absorbed as a fallback — the build below still runs.
+	if e.remote != nil {
+		rec, out := e.remote.Get(ctx, fp)
+		if out == storenet.Hit {
+			if run, rerr := RunFromRecord(rec, w); rerr == nil {
+				e.mu.Lock()
+				e.stats.RemoteHits++
+				e.mu.Unlock()
+				e.logf("remote hit %-8s heuristic set %v%s\n", w.Name, opts.Switch, optsSuffix(opts))
+				if e.disk != nil {
+					if perr := e.disk.Put(fp, rec); perr != nil {
+						e.logf("store write failed: %v\n", perr)
+					}
+				}
+				ent.run = run
+				return ent.run, nil
+			}
+			// The server validated the entry yet it would not
+			// reconstitute here: degrade, don't trust it.
+			out = storenet.Fallback
+		}
+		e.mu.Lock()
+		if out == storenet.Miss {
+			e.stats.RemoteMisses++
+		} else {
+			e.stats.RemoteFallbacks++
+		}
+		e.mu.Unlock()
+	}
+
 	select {
 	case e.sem <- struct{}{}:
 		defer func() { <-e.sem }()
@@ -200,10 +238,24 @@ func (e *Engine) Get(ctx context.Context, w workload.Workload, opts pipeline.Opt
 	e.mu.Unlock()
 	e.logf("building %-8s heuristic set %v%s\n", w.Name, opts.Switch, optsSuffix(opts))
 	ent.run, ent.err = RunOpts(w, opts)
-	if ent.err == nil && e.disk != nil {
+	if ent.err == nil && (e.disk != nil || e.remote != nil) {
 		// A write failure costs only the cache entry, not the run.
-		if perr := e.disk.Put(fp, ent.run.Record()); perr != nil {
-			e.logf("store write failed: %v\n", perr)
+		rec := ent.run.Record()
+		if e.disk != nil {
+			if perr := e.disk.Put(fp, rec); perr != nil {
+				e.logf("store write failed: %v\n", perr)
+			}
+		}
+		if e.remote != nil {
+			if perr := e.remote.Put(ctx, fp, rec); perr != nil {
+				e.mu.Lock()
+				e.stats.RemoteFallbacks++
+				e.mu.Unlock()
+			} else {
+				e.mu.Lock()
+				e.stats.RemotePuts++
+				e.mu.Unlock()
+			}
 		}
 	}
 	return ent.run, ent.err

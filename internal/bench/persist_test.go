@@ -213,10 +213,14 @@ func TestShardPartitionAndMerge(t *testing.T) {
 			t.Fatalf("shard %d: %v", i, err)
 		}
 		var buf bytes.Buffer
-		if err := store.WriteExport(&buf, Records(runs)); err != nil {
+		st := e.Stats()
+		if err := store.WriteExport(&buf, Records(runs), &st); err != nil {
 			t.Fatalf("shard %d export: %v", i, err)
 		}
-		recs, err := store.ReadExport(&buf)
+		recs, shardStats, err := store.ReadExport(&buf)
+		if err == nil && (shardStats == nil || shardStats.Builds != len(shard)) {
+			t.Errorf("shard %d stats did not round-trip: %+v", i, shardStats)
+		}
 		if err != nil {
 			t.Fatalf("shard %d reimport: %v", i, err)
 		}

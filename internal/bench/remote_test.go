@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"branchreorder/internal/bench/store"
+	"branchreorder/internal/bench/storenet"
+)
+
+// remoteFixture is one brstored-equivalent server over a fresh pool.
+func remoteFixture(t *testing.T) (*storenet.Server, *storenet.Client) {
+	t.Helper()
+	pool, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := storenet.NewServer(pool)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	client, err := storenet.NewClient(hs.URL, storenet.ClientConfig{Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, client
+}
+
+// Machine A populates the shared store; machine B — cold memo, cold
+// disk — must run the whole suite with zero builds, byte-identically,
+// and warm its own disk tier from the remote hits.
+func TestRemoteTierWarmsSecondMachine(t *testing.T) {
+	_, clientA := remoteFixture(t)
+	ws := subset(t, "wc", "sort")
+	ctx := context.Background()
+	want := len(Sets()) * len(ws)
+
+	a := NewEngine(4, nil)
+	a.UseStore(openStore(t, t.TempDir()))
+	a.UseRemote(clientA)
+	s1, err := a.SuiteOf(ctx, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := a.Stats()
+	if as.Builds != want || as.RemoteMisses != want || as.RemotePuts != want {
+		t.Errorf("machine A: %+v, want %d builds/remote misses/puts", as, want)
+	}
+
+	bDisk := t.TempDir()
+	b := NewEngine(4, nil)
+	b.UseStore(openStore(t, bDisk))
+	b.UseRemote(clientA)
+	s2, err := b.SuiteOf(ctx, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := b.Stats()
+	if bs.Builds != 0 || bs.RemoteHits != want || bs.DiskMisses != want {
+		t.Errorf("machine B: %+v, want 0 builds, %d remote hits", bs, want)
+	}
+	if got, wantOut := renderAll(t, s2), renderAll(t, s1); got != wantOut {
+		t.Errorf("remote-warmed output differs from the originating machine's")
+	}
+
+	// Remote hits were written through to B's disk: a third run on B
+	// needs neither builds nor the network.
+	c := NewEngine(4, nil)
+	c.UseStore(openStore(t, bDisk))
+	s3, err := c.SuiteOf(ctx, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := c.Stats(); cs.Builds != 0 || cs.DiskHits != want {
+		t.Errorf("write-through run: %+v, want %d disk hits", cs, want)
+	}
+	if renderAll(t, s3) != renderAll(t, s1) {
+		t.Errorf("write-through output differs")
+	}
+}
+
+// The remote tier alone (no disk store) must also serve a cold engine.
+func TestRemoteTierWithoutDisk(t *testing.T) {
+	_, client := remoteFixture(t)
+	ws := subset(t, "wc")
+	ctx := context.Background()
+	want := len(Sets()) * len(ws)
+
+	a := NewEngine(2, nil)
+	a.UseRemote(client)
+	if _, err := a.SuiteOf(ctx, ws); err != nil {
+		t.Fatal(err)
+	}
+	b := NewEngine(2, nil)
+	b.UseRemote(client)
+	if _, err := b.SuiteOf(ctx, ws); err != nil {
+		t.Fatal(err)
+	}
+	if bs := b.Stats(); bs.Builds != 0 || bs.RemoteHits != want {
+		t.Errorf("disk-less remote run: %+v, want 0 builds, %d remote hits", bs, want)
+	}
+}
+
+// A dead remote must cost fallbacks, not correctness: the run builds
+// locally and succeeds.
+func TestRemoteTierDeadServerFallsBack(t *testing.T) {
+	client, err := storenet.NewClient("http://127.0.0.1:1", storenet.ClientConfig{
+		MaxAttempts: 1, BreakerThreshold: 2, Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := subset(t, "wc")
+	e := NewEngine(2, nil)
+	e.UseRemote(client)
+	s, err := e.SuiteOf(context.Background(), ws)
+	if err != nil {
+		t.Fatalf("suite failed because the remote is dead: %v", err)
+	}
+	st := e.Stats()
+	if want := len(Sets()) * len(ws); st.Builds != want {
+		t.Errorf("%d builds, want %d", st.Builds, want)
+	}
+	if st.RemoteHits != 0 || st.RemoteFallbacks == 0 {
+		t.Errorf("dead remote stats: %+v, want only fallbacks", st)
+	}
+	if ref, err := NewEngine(2, nil).SuiteOf(context.Background(), ws); err != nil {
+		t.Fatal(err)
+	} else if renderAll(t, s) != renderAll(t, ref) {
+		t.Errorf("fallback run rendered differently from a local-only run")
+	}
+}
+
+// The ablation grid must shard exactly like the suite matrix: each job
+// in one shard, and the sharded-and-merged study byte-identical to the
+// direct one with zero rebuilds.
+func TestAblationJobsShardAndMerge(t *testing.T) {
+	ws := subset(t, "wc", "sort")
+	set := Sets()[2]
+	jobs := AblationJobs(set, ws)
+	if want := len(ws) * len(AblationVariants(set)); len(jobs) != want {
+		t.Fatalf("AblationJobs: %d jobs, want %d", len(jobs), want)
+	}
+	const n = 2
+	seen := map[Key]int{}
+	var shards [][]Job
+	for i := 0; i < n; i++ {
+		shard := ShardJobs(jobs, i, n)
+		shards = append(shards, shard)
+		for _, j := range shard {
+			seen[Key{Workload: j.Workload.Name, Opts: j.Opts}]++
+		}
+	}
+	if len(seen) != len(jobs) {
+		t.Fatalf("shards cover %d jobs, want %d", len(seen), len(jobs))
+	}
+
+	ctx := context.Background()
+	direct, err := RunAblationWith(ctx, NewEngine(4, nil), set, []string{"wc", "sort"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := NewEngine(4, nil)
+	for i, shard := range shards {
+		e := NewEngine(4, nil)
+		runs, err := e.RunJobs(ctx, shard)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		for _, r := range runs {
+			merged.Seed(r)
+		}
+	}
+	rows, err := RunAblationWith(ctx, merged, set, []string{"wc", "sort"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := merged.Stats(); st.Builds != 0 {
+		t.Errorf("merged ablation executed %d builds, want 0", st.Builds)
+	}
+	if got, want := AblationTable(set, rows), AblationTable(set, direct); got != want {
+		t.Errorf("sharded ablation differs:\n--- merged ---\n%s--- direct ---\n%s", got, want)
+	}
+}

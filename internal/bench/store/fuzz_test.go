@@ -46,7 +46,7 @@ func FuzzStoreDecode(f *testing.F) {
 			}
 		}
 		// The shard reader faces the same hostile bytes on -merge.
-		if recs, err := ReadExport(bytes.NewReader(data)); err == nil {
+		if recs, _, err := ReadExport(bytes.NewReader(data)); err == nil {
 			for _, rec := range recs {
 				if verr := rec.Validate(); verr != nil {
 					t.Fatalf("ReadExport returned an invalid record: %v", verr)

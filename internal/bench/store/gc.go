@@ -1,0 +1,103 @@
+package store
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// tmpOrphanAge is how old a put-*.tmp file must be before GC treats it
+// as debris from a crashed writer rather than an in-flight Put.
+const tmpOrphanAge = time.Hour
+
+// GCResult summarizes one collection pass.
+type GCResult struct {
+	Scanned int   // entries examined
+	Evicted int   // entries removed
+	Bytes   int64 // bytes retained after collection
+	Freed   int64 // bytes reclaimed
+}
+
+// GC evicts stale entries: everything older than maxAge goes first, then
+// the least-recently-used entries (by mtime — Touch refreshes it on a
+// hit) until the store fits in maxBytes. A zero or negative bound
+// disables that criterion, so GC(0, 0) only sweeps orphaned temp files.
+// Eviction races are benign: an entry is immutable once written, so a
+// concurrent reader either got it before the unlink or misses and
+// rebuilds.
+func (s *Store) GC(maxAge time.Duration, maxBytes int64) (GCResult, error) {
+	type entry struct {
+		path  string
+		mtime time.Time
+		size  int64
+	}
+	var (
+		entries []entry
+		total   int64
+		now     = time.Now()
+	)
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			// A vanished file just means a concurrent GC or writer won.
+			return nil
+		}
+		name := d.Name()
+		if strings.HasPrefix(name, "put-") && strings.HasSuffix(name, ".tmp") {
+			if info, ierr := d.Info(); ierr == nil && now.Sub(info.ModTime()) > tmpOrphanAge {
+				os.Remove(path)
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".json") {
+			return nil
+		}
+		info, ierr := d.Info()
+		if ierr != nil {
+			return nil
+		}
+		entries = append(entries, entry{path: path, mtime: info.ModTime(), size: info.Size()})
+		total += info.Size()
+		return nil
+	})
+	if err != nil {
+		return GCResult{}, err
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+
+	res := GCResult{Scanned: len(entries)}
+	var firstErr error
+	for _, e := range entries {
+		stale := maxAge > 0 && now.Sub(e.mtime) > maxAge
+		over := maxBytes > 0 && total > maxBytes
+		if !stale && !over {
+			// Entries are oldest-first, so nothing later is stale either,
+			// and the size bound only loosens as we evict.
+			break
+		}
+		if rerr := os.Remove(e.path); rerr != nil && !os.IsNotExist(rerr) {
+			if firstErr == nil {
+				firstErr = rerr
+			}
+			continue
+		}
+		res.Evicted++
+		res.Freed += e.size
+		total -= e.size
+	}
+	res.Bytes = total
+	return res, firstErr
+}
+
+// Touch marks fp's entry as recently used so LRU eviction spares it.
+// Errors are ignored: a missing entry means a concurrent eviction won,
+// and losing one touch costs at worst one early eviction.
+func (s *Store) Touch(fp string) {
+	if len(fp) < 2 {
+		return
+	}
+	now := time.Now()
+	os.Chtimes(s.path(fp), now, now)
+}

@@ -157,13 +157,19 @@ func Decode(data []byte, fp string) (*Record, error) {
 
 // exportFile frames a list of records: the -export shard interchange and
 // the -json dump share this format, so a -json dump can also be merged.
+// Stats carries the exporting engine's cache counters so a merge can
+// account for every shard's activity; it is optional, so pre-stats
+// exports still read cleanly (as a nil Stats).
 type exportFile struct {
-	Schema  int       `json:"schema"`
-	Records []*Record `json:"records"`
+	Schema  int        `json:"schema"`
+	Stats   *TierStats `json:"stats,omitempty"`
+	Records []*Record  `json:"records"`
 }
 
-// WriteExport serializes records, preserving their order.
-func WriteExport(w io.Writer, recs []*Record) error {
+// WriteExport serializes records, preserving their order. stats, when
+// non-nil, rides along so the merging side can total cache activity
+// across shards.
+func WriteExport(w io.Writer, recs []*Record, stats *TierStats) error {
 	for i, rec := range recs {
 		if err := rec.Validate(); err != nil {
 			return fmt.Errorf("record %d: %w", i, err)
@@ -171,7 +177,7 @@ func WriteExport(w io.Writer, recs []*Record) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "\t")
-	if err := enc.Encode(exportFile{Schema: SchemaVersion, Records: recs}); err != nil {
+	if err := enc.Encode(exportFile{Schema: SchemaVersion, Stats: stats, Records: recs}); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil
@@ -179,19 +185,20 @@ func WriteExport(w io.Writer, recs []*Record) error {
 
 // ReadExport parses an exported shard. Unlike store entries — where a
 // bad file is just a cache miss — corruption here is a hard error: the
-// caller asked to merge exactly this data.
-func ReadExport(r io.Reader) ([]*Record, error) {
+// caller asked to merge exactly this data. The returned stats are nil
+// for exports written before stats existed.
+func ReadExport(r io.Reader) ([]*Record, *TierStats, error) {
 	var f exportFile
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
-		return nil, fmt.Errorf("store: export: %w", err)
+		return nil, nil, fmt.Errorf("store: export: %w", err)
 	}
 	if f.Schema != SchemaVersion {
-		return nil, fmt.Errorf("store: export schema %d, want %d", f.Schema, SchemaVersion)
+		return nil, nil, fmt.Errorf("store: export schema %d, want %d", f.Schema, SchemaVersion)
 	}
 	for i, rec := range f.Records {
 		if err := rec.Validate(); err != nil {
-			return nil, fmt.Errorf("store: export record %d: %w", i, err)
+			return nil, nil, fmt.Errorf("store: export record %d: %w", i, err)
 		}
 	}
-	return f.Records, nil
+	return f.Records, f.Stats, nil
 }

@@ -1,0 +1,41 @@
+package store
+
+// TierStats counts one engine's cache activity across its tiers
+// (in-memory memo → disk store → network store). It lives in this
+// package, not bench, because shard export files carry it: a merged
+// run's summary can then account for every shard's cache behaviour,
+// not just its own. Zero counters for a tier just mean the tier was
+// not attached.
+type TierStats struct {
+	// Builds is the number of build+measure jobs actually executed.
+	Builds int `json:"builds"`
+	// Hits is the number of lookups served from the in-memory memo
+	// (including callers that joined an in-flight build).
+	Hits int `json:"memoHits"`
+
+	// Disk-tier counters; all stay zero when no store is attached.
+	DiskHits    int `json:"diskHits,omitempty"`    // jobs served from the disk store without building
+	DiskMisses  int `json:"diskMisses,omitempty"`  // jobs with no usable entry on disk
+	DiskInvalid int `json:"diskInvalid,omitempty"` // corrupt, truncated or schema-mismatched entries, treated as misses
+
+	// Remote-tier counters; all stay zero when no network store is
+	// attached.
+	RemoteHits      int `json:"remoteHits,omitempty"`      // jobs served from the network store
+	RemoteMisses    int `json:"remoteMisses,omitempty"`    // reachable server, no entry
+	RemoteFallbacks int `json:"remoteFallbacks,omitempty"` // remote failures absorbed by the local tiers
+	RemotePuts      int `json:"remotePuts,omitempty"`      // fresh results uploaded to the network store
+}
+
+// Add accumulates o into s, counter by counter — how a merge totals the
+// cache activity of every exported shard.
+func (s *TierStats) Add(o TierStats) {
+	s.Builds += o.Builds
+	s.Hits += o.Hits
+	s.DiskHits += o.DiskHits
+	s.DiskMisses += o.DiskMisses
+	s.DiskInvalid += o.DiskInvalid
+	s.RemoteHits += o.RemoteHits
+	s.RemoteMisses += o.RemoteMisses
+	s.RemoteFallbacks += o.RemoteFallbacks
+	s.RemotePuts += o.RemotePuts
+}

@@ -208,16 +208,42 @@ func TestFingerprintSensitivity(t *testing.T) {
 func TestExportRoundTrip(t *testing.T) {
 	recs := []*Record{testRecord(), testRecord()}
 	recs[1].Workload = "sort"
+	stats := &TierStats{Builds: 2, DiskHits: 1, RemoteHits: 3, RemoteFallbacks: 1}
 	var buf bytes.Buffer
-	if err := WriteExport(&buf, recs); err != nil {
+	if err := WriteExport(&buf, recs, stats); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ReadExport(&buf)
+	got, gotStats, err := ReadExport(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(got, recs) {
 		t.Errorf("export round trip changed records")
+	}
+	if !reflect.DeepEqual(gotStats, stats) {
+		t.Errorf("export round trip changed stats: %+v != %+v", gotStats, stats)
+	}
+
+	// Exports written without stats (including pre-stats files) read
+	// back with nil stats, not zeroes.
+	buf.Reset()
+	if err := WriteExport(&buf, recs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, s, err := ReadExport(&buf); err != nil || s != nil {
+		t.Errorf("stats-less export: stats=%+v err=%v, want nil,nil", s, err)
+	}
+}
+
+func TestTierStatsAdd(t *testing.T) {
+	a := TierStats{Builds: 1, Hits: 2, DiskHits: 3, DiskMisses: 4, DiskInvalid: 5,
+		RemoteHits: 6, RemoteMisses: 7, RemoteFallbacks: 8, RemotePuts: 9}
+	sum := a
+	sum.Add(a)
+	want := TierStats{Builds: 2, Hits: 4, DiskHits: 6, DiskMisses: 8, DiskInvalid: 10,
+		RemoteHits: 12, RemoteMisses: 14, RemoteFallbacks: 16, RemotePuts: 18}
+	if sum != want {
+		t.Errorf("Add: %+v, want %+v", sum, want)
 	}
 }
 
@@ -227,7 +253,7 @@ func TestReadExportRejects(t *testing.T) {
 		"bad schema": `{"schema":99,"records":[]}`,
 		"bad record": `{"schema":1,"records":[{"workload":""}]}`,
 	} {
-		if _, err := ReadExport(strings.NewReader(data)); err == nil {
+		if _, _, err := ReadExport(strings.NewReader(data)); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
 	}
@@ -237,7 +263,7 @@ func TestReadExportRejects(t *testing.T) {
 // spot-check the envelope keys.
 func TestExportIsPlainJSON(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteExport(&buf, []*Record{testRecord()}); err != nil {
+	if err := WriteExport(&buf, []*Record{testRecord()}, nil); err != nil {
 		t.Fatal(err)
 	}
 	var doc map[string]any

@@ -1,0 +1,371 @@
+package storenet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"branchreorder/internal/bench/store"
+)
+
+// Outcome classifies one remote lookup.
+type Outcome int
+
+const (
+	// Miss: the server answered and has no (usable) entry.
+	Miss Outcome = iota
+	// Hit: the entry was fetched and validated.
+	Hit
+	// Fallback: the remote was unusable (dead, erroring, or breaker
+	// tripped); the caller's local tiers must serve.
+	Fallback
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case Fallback:
+		return "fallback"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// ErrUnavailable is returned by Put once the breaker has tripped.
+var ErrUnavailable = errors.New("storenet: remote store disabled after repeated failures")
+
+// ClientConfig tunes a Client. The zero value means defaults.
+type ClientConfig struct {
+	// Timeout bounds each individual HTTP request, not the whole retry
+	// sequence. <= 0 means 10s.
+	Timeout time.Duration
+	// MaxAttempts bounds tries per operation, the first included.
+	// <= 0 means 3.
+	MaxAttempts int
+	// Backoff is the delay before the first retry; it doubles per
+	// retry. <= 0 means 100ms.
+	Backoff time.Duration
+	// MaxBackoff caps the per-retry delay (before jitter). <= 0 means 2s.
+	MaxBackoff time.Duration
+	// BreakerThreshold is how many consecutive failed operations trip
+	// the client into permanent fallback, so a dead server costs a
+	// bounded number of timeouts per run instead of one per job.
+	// <= 0 means 4.
+	BreakerThreshold int
+	// Logf receives the client's degradation notices — at most two per
+	// run (first failure, breaker trip). Nil discards them.
+	Logf func(format string, args ...interface{})
+}
+
+// Client fetches and uploads store entries from a brstored server. It
+// never surfaces a remote failure as a caller-visible error on the read
+// path: every Get resolves to Hit, Miss, or Fallback. A Client is safe
+// for concurrent use.
+type Client struct {
+	base        string
+	hc          *http.Client
+	maxAttempts int
+	backoff     time.Duration
+	maxBackoff  time.Duration
+	breakerAt   int
+	logf        func(format string, args ...interface{})
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+	fails    int  // consecutive failed operations
+	tripped  bool // breaker state: true means stop trying
+	warned   bool // the one-time unavailability notice went out
+}
+
+// flight is one in-progress fetch that concurrent Gets of the same
+// fingerprint share.
+type flight struct {
+	done chan struct{}
+	rec  *store.Record
+	out  Outcome
+}
+
+// NewClient returns a client for the store served at baseURL
+// (e.g. "http://build42:8370").
+func NewClient(baseURL string, cfg ClientConfig) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("storenet: invalid store URL %q", baseURL)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 4
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	return &Client{
+		base:        strings.TrimRight(u.String(), "/"),
+		hc:          &http.Client{Timeout: cfg.Timeout},
+		maxAttempts: cfg.MaxAttempts,
+		backoff:     cfg.Backoff,
+		maxBackoff:  cfg.MaxBackoff,
+		breakerAt:   cfg.BreakerThreshold,
+		logf:        logf,
+		inflight:    map[string]*flight{},
+	}, nil
+}
+
+// BaseURL reports the server the client talks to.
+func (c *Client) BaseURL() string { return c.base }
+
+// Get fetches the entry for fp. Concurrent Gets of the same fingerprint
+// share one request; every remote failure degrades to Fallback, never an
+// error — the caller's local tiers decide what happens next.
+func (c *Client) Get(ctx context.Context, fp string) (*store.Record, Outcome) {
+	c.mu.Lock()
+	if c.tripped {
+		c.mu.Unlock()
+		return nil, Fallback
+	}
+	if f, ok := c.inflight[fp]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.rec, f.out
+		case <-ctx.Done():
+			return nil, Fallback
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[fp] = f
+	c.mu.Unlock()
+
+	f.rec, f.out = c.fetch(ctx, fp)
+	c.mu.Lock()
+	delete(c.inflight, fp)
+	c.mu.Unlock()
+	close(f.done)
+	return f.rec, f.out
+}
+
+func (c *Client) fetch(ctx context.Context, fp string) (*store.Record, Outcome) {
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 && !c.sleep(ctx, attempt) {
+			return nil, Fallback // canceled runs don't count against the breaker
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+entryPath(fp), nil)
+		if err != nil {
+			c.noteFailure(err)
+			return nil, Fallback
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, Fallback
+			}
+			lastErr = err // connection error or per-request timeout: retry
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			data, rerr := io.ReadAll(io.LimitReader(resp.Body, MaxEntryBytes+1))
+			resp.Body.Close()
+			if rerr != nil {
+				lastErr = rerr
+				continue
+			}
+			rec, derr := store.Decode(data, fp)
+			if derr != nil {
+				// The server vouched for this entry and it still failed
+				// validation here: same corrupt-entry-as-miss contract as
+				// the disk tier.
+				c.noteSuccess()
+				return nil, Miss
+			}
+			c.noteSuccess()
+			return rec, Hit
+		case resp.StatusCode == http.StatusNotFound:
+			drain(resp)
+			c.noteSuccess()
+			return nil, Miss
+		case resp.StatusCode >= 500:
+			drain(resp)
+			lastErr = fmt.Errorf("server: %s", resp.Status)
+			continue
+		default:
+			// Any other 4xx means this request is wrong, not the server
+			// flaky; retrying cannot help.
+			drain(resp)
+			c.noteFailure(fmt.Errorf("server: %s", resp.Status))
+			return nil, Fallback
+		}
+	}
+	c.noteFailure(lastErr)
+	return nil, Fallback
+}
+
+// Put uploads the entry for fp, best-effort: a non-nil error means the
+// entry did not land on the server, never that the caller's run failed.
+func (c *Client) Put(ctx context.Context, fp string, rec *store.Record) error {
+	c.mu.Lock()
+	tripped := c.tripped
+	c.mu.Unlock()
+	if tripped {
+		return ErrUnavailable
+	}
+	data, err := store.Encode(fp, rec)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 && !c.sleep(ctx, attempt) {
+			return ctx.Err()
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+entryPath(fp), bytes.NewReader(data))
+		if err != nil {
+			c.noteFailure(err)
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		switch {
+		case resp.StatusCode < 300:
+			drain(resp)
+			c.noteSuccess()
+			return nil
+		case resp.StatusCode >= 500:
+			drain(resp)
+			lastErr = fmt.Errorf("server: %s", resp.Status)
+			continue
+		default:
+			drain(resp)
+			err := fmt.Errorf("server rejected put: %s", resp.Status)
+			c.noteFailure(err)
+			return err
+		}
+	}
+	c.noteFailure(lastErr)
+	return lastErr
+}
+
+// Head reports whether the server has an entry for fp, with the same
+// retry policy as Get.
+func (c *Client) Head(ctx context.Context, fp string) (bool, error) {
+	c.mu.Lock()
+	tripped := c.tripped
+	c.mu.Unlock()
+	if tripped {
+		return false, ErrUnavailable
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 && !c.sleep(ctx, attempt) {
+			return false, ctx.Err()
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodHead, c.base+entryPath(fp), nil)
+		if err != nil {
+			return false, err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		drain(resp)
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			c.noteSuccess()
+			return true, nil
+		case resp.StatusCode == http.StatusNotFound:
+			c.noteSuccess()
+			return false, nil
+		case resp.StatusCode >= 500:
+			lastErr = fmt.Errorf("server: %s", resp.Status)
+			continue
+		default:
+			err := fmt.Errorf("server: %s", resp.Status)
+			c.noteFailure(err)
+			return false, err
+		}
+	}
+	c.noteFailure(lastErr)
+	return false, lastErr
+}
+
+// sleep waits out the backoff before retry attempt (1-based): the base
+// delay doubled per retry, capped, plus up to 50% jitter so a fleet of
+// clients doesn't hammer a recovering server in lockstep. It reports
+// false if ctx expired first.
+func (c *Client) sleep(ctx context.Context, attempt int) bool {
+	d := c.backoff << (attempt - 1)
+	if d > c.maxBackoff {
+		d = c.maxBackoff
+	}
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// noteSuccess resets the breaker's consecutive-failure count.
+func (c *Client) noteSuccess() {
+	c.mu.Lock()
+	c.fails = 0
+	c.mu.Unlock()
+}
+
+// noteFailure counts one failed operation toward the breaker and emits
+// the log-once degradation notices.
+func (c *Client) noteFailure(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fails++
+	if !c.warned {
+		c.warned = true
+		c.logf("storenet: remote store %s unavailable (%v); falling back to local tiers\n", c.base, err)
+	}
+	if !c.tripped && c.fails >= c.breakerAt {
+		c.tripped = true
+		c.logf("storenet: disabling remote store %s for this run after %d consecutive failures\n", c.base, c.fails)
+	}
+}
+
+// drain discards and closes a response body so the connection can be
+// reused.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+}

@@ -1,0 +1,207 @@
+package storenet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"branchreorder/internal/bench/store"
+)
+
+// A server that 5xxes transiently must be retried with backoff until it
+// recovers, within the attempt budget.
+func TestClientRetriesServerErrors(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := NewServer(st).Handler()
+	fp := testFingerprint("a")
+	if err := st.Put(fp, testRecord()); err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "catching fire", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer hs.Close()
+
+	c := testClient(t, hs.URL, ClientConfig{MaxAttempts: 3})
+	rec, out := c.Get(context.Background(), fp)
+	if out != Hit || rec == nil {
+		t.Fatalf("Get after two 503s: %v, want hit", out)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("%d requests, want 3 (two retries)", got)
+	}
+}
+
+// A request that exceeds the per-request timeout must be retried, and
+// succeed once the server answers in time.
+func TestClientRetriesTimeouts(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := NewServer(st).Handler()
+	fp := testFingerprint("a")
+	if err := st.Put(fp, testRecord()); err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			time.Sleep(300 * time.Millisecond) // beyond the client timeout
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer hs.Close()
+
+	c := testClient(t, hs.URL, ClientConfig{Timeout: 50 * time.Millisecond, MaxAttempts: 3})
+	if _, out := c.Get(context.Background(), fp); out != Hit {
+		t.Fatalf("Get after a timeout: %v, want hit", out)
+	}
+	if got := calls.Load(); got < 2 {
+		t.Errorf("%d requests, want at least 2", got)
+	}
+}
+
+// A dead server must degrade to Fallback — never an error — log exactly
+// once, and trip the breaker so later calls don't pay the timeout tax.
+func TestClientDeadServerFallsBack(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	logf := func(format string, args ...interface{}) {
+		mu.Lock()
+		lines = append(lines, format)
+		mu.Unlock()
+	}
+	// Port 1 is essentially never listening: instant connection refused.
+	c := testClient(t, "http://127.0.0.1:1", ClientConfig{
+		MaxAttempts: 2, BreakerThreshold: 2, Logf: logf,
+	})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, out := c.Get(ctx, testFingerprint("a")); out != Fallback {
+			t.Fatalf("Get %d against dead server: %v, want fallback", i, out)
+		}
+	}
+	if err := c.Put(ctx, testFingerprint("b"), testRecord()); err == nil {
+		t.Error("Put against tripped breaker reported success")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var unavailable, disabled int
+	for _, l := range lines {
+		if strings.Contains(l, "unavailable") {
+			unavailable++
+		}
+		if strings.Contains(l, "disabling") {
+			disabled++
+		}
+	}
+	if unavailable != 1 || disabled != 1 {
+		t.Errorf("logged %d unavailable + %d disabling notices, want exactly 1 of each: %q",
+			unavailable, disabled, lines)
+	}
+}
+
+// Concurrent Gets of one fingerprint must share a single HTTP request.
+func TestClientSingleFlight(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := NewServer(st).Handler()
+	fp := testFingerprint("a")
+	if err := st.Put(fp, testRecord()); err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int32
+	release := make(chan struct{})
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		<-release // hold every caller in the single flight
+		inner.ServeHTTP(w, r)
+	}))
+	defer hs.Close()
+
+	c := testClient(t, hs.URL, ClientConfig{})
+	const n = 8
+	var wg sync.WaitGroup
+	outs := make([]Outcome, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, outs[i] = c.Get(context.Background(), fp)
+		}(i)
+	}
+	// Wait until the one real request is in the handler, then make sure
+	// no duplicate follows before releasing it.
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Errorf("%d HTTP requests for %d concurrent Gets, want 1", got, n)
+	}
+	for i, out := range outs {
+		if out != Hit {
+			t.Errorf("caller %d: %v, want hit", i, out)
+		}
+	}
+}
+
+// A 4xx rejection of a Put must surface as an error without retrying —
+// re-sending a rejected payload cannot help.
+func TestClientPutRejectionDoesNotRetry(t *testing.T) {
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "no", http.StatusBadRequest)
+	}))
+	defer hs.Close()
+
+	c := testClient(t, hs.URL, ClientConfig{MaxAttempts: 3})
+	if err := c.Put(context.Background(), testFingerprint("a"), testRecord()); err == nil {
+		t.Fatal("rejected Put reported success")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("%d requests for a 4xx Put, want 1", got)
+	}
+}
+
+// A response that decodes but fails validation is a miss, not a hit and
+// not a fallback: the corrupt-entry-as-miss contract extends over HTTP.
+func TestClientGarbageResponseIsMiss(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"schema":1,"fingerprint":"x","sum":"00","record":{}}`))
+	}))
+	defer hs.Close()
+
+	c := testClient(t, hs.URL, ClientConfig{})
+	if _, out := c.Get(context.Background(), testFingerprint("a")); out != Miss {
+		t.Fatalf("garbage 200 body: %v, want miss", out)
+	}
+}
+
+func TestNewClientRejectsBadURLs(t *testing.T) {
+	for _, u := range []string{"", "not a url", "host:8370/no-scheme", "http://"} {
+		if _, err := NewClient(u, ClientConfig{}); err == nil {
+			t.Errorf("NewClient(%q) accepted", u)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package storenet
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"branchreorder/internal/bench/store"
+)
+
+// ServerStats is a point-in-time snapshot of a server's counters, as
+// rendered by /metrics.
+type ServerStats struct {
+	Hits       int64 // entries served
+	Misses     int64 // lookups with no entry
+	Invalid    int64 // entries on disk that failed validation (served as misses)
+	Puts       int64 // entries accepted and stored
+	PutRejects int64 // uploads refused by validation
+	BytesIn    int64 // payload bytes accepted
+	BytesOut   int64 // payload bytes served
+	Evictions  int64 // entries removed by GC
+}
+
+// Server exposes a store.Store over HTTP. All durability properties —
+// atomic writes, checksummed entries, corrupt-entry-as-miss — are
+// inherited from the store; the server adds validation at the trust
+// boundary (an uploaded entry must decode, checksum, and carry the
+// fingerprint it is stored under) so no client, hostile or truncated,
+// can poison the pool. A Server is safe for concurrent use.
+type Server struct {
+	st *store.Store
+
+	hits, misses, invalid       atomic.Int64
+	puts, putRejects            atomic.Int64
+	bytesIn, bytesOut, evictions atomic.Int64
+}
+
+// NewServer returns a server backed by st.
+func NewServer(st *store.Store) *Server { return &Server{st: st} }
+
+// Handler returns the HTTP API:
+//
+//	GET  /v1/entry/{fp}   fetch one entry (404 on miss; HEAD works too)
+//	PUT  /v1/entry/{fp}   upload one entry (400 if it fails validation)
+//	GET  /metrics         plaintext counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/entry/{fp}", s.handleGet) // GET patterns match HEAD too
+	mux.HandleFunc("PUT /v1/entry/{fp}", s.handlePut)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Hits:       s.hits.Load(),
+		Misses:     s.misses.Load(),
+		Invalid:    s.invalid.Load(),
+		Puts:       s.puts.Load(),
+		PutRejects: s.putRejects.Load(),
+		BytesIn:    s.bytesIn.Load(),
+		BytesOut:   s.bytesOut.Load(),
+		Evictions:  s.evictions.Load(),
+	}
+}
+
+// GC collects the backing store and folds evictions into the metrics.
+func (s *Server) GC(maxAge time.Duration, maxBytes int64) (store.GCResult, error) {
+	res, err := s.st.GC(maxAge, maxBytes)
+	s.evictions.Add(int64(res.Evicted))
+	return res, err
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fp")
+	if !validFingerprint(fp) {
+		http.Error(w, "malformed fingerprint", http.StatusBadRequest)
+		return
+	}
+	rec, st := s.st.Get(fp)
+	switch st {
+	case store.Miss:
+		s.misses.Add(1)
+		http.NotFound(w, r)
+		return
+	case store.Invalid:
+		// Same contract as the disk tier: a corrupt entry is a miss,
+		// never an error. The counter keeps the rot visible.
+		s.invalid.Add(1)
+		http.NotFound(w, r)
+		return
+	}
+	data, err := store.Encode(fp, rec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.hits.Add(1)
+	// A hit refreshes the entry's mtime so LRU eviction spares what the
+	// fleet actually uses.
+	s.st.Touch(fp)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	n, _ := w.Write(data)
+	s.bytesOut.Add(int64(n))
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fp")
+	if !validFingerprint(fp) {
+		s.putRejects.Add(1)
+		http.Error(w, "malformed fingerprint", http.StatusBadRequest)
+		return
+	}
+	// A declared length lets us refuse oversized uploads before reading
+	// a byte, and detect truncated ones after.
+	if r.ContentLength < 0 {
+		s.putRejects.Add(1)
+		http.Error(w, "Content-Length required", http.StatusLengthRequired)
+		return
+	}
+	if r.ContentLength > MaxEntryBytes {
+		s.putRejects.Add(1)
+		http.Error(w, "entry exceeds size limit", http.StatusRequestEntityTooLarge)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxEntryBytes))
+	if err != nil {
+		s.putRejects.Add(1)
+		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if int64(len(body)) != r.ContentLength {
+		s.putRejects.Add(1)
+		http.Error(w, "body shorter than Content-Length", http.StatusBadRequest)
+		return
+	}
+	// Decode re-runs the full entry validation — schema, checksum,
+	// record shape, and that the payload's fingerprint matches the key
+	// it would be stored under — so nothing unverifiable reaches disk.
+	rec, err := store.Decode(body, fp)
+	if err != nil {
+		s.putRejects.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.st.Put(fp, rec); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.puts.Add(1)
+	s.bytesIn.Add(int64(len(body)))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "brstored_hits %d\n", st.Hits)
+	fmt.Fprintf(w, "brstored_misses %d\n", st.Misses)
+	fmt.Fprintf(w, "brstored_invalid %d\n", st.Invalid)
+	fmt.Fprintf(w, "brstored_puts %d\n", st.Puts)
+	fmt.Fprintf(w, "brstored_put_rejects %d\n", st.PutRejects)
+	fmt.Fprintf(w, "brstored_bytes_in %d\n", st.BytesIn)
+	fmt.Fprintf(w, "brstored_bytes_out %d\n", st.BytesOut)
+	fmt.Fprintf(w, "brstored_evictions %d\n", st.Evictions)
+}

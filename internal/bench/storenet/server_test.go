@@ -1,0 +1,279 @@
+package storenet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"branchreorder/internal/bench/store"
+	"branchreorder/internal/interp"
+	"branchreorder/internal/lower"
+	"branchreorder/internal/pipeline"
+)
+
+// testRecord is a synthetic but fully-populated record (same shape the
+// store package uses for its own tests).
+func testRecord() *store.Record {
+	return &store.Record{
+		Workload: "wc",
+		Set:      int(lower.SetI),
+		Opts:     pipeline.Options{Switch: lower.SetI, Optimize: true},
+		Base: &store.Measurement{
+			Stats:  interp.Stats{Insts: 123456, CondBranches: 789},
+			Output: []byte("42 lines\xff\x00raw"),
+		},
+		Reord: &store.Measurement{
+			Stats:  interp.Stats{Insts: 120000, CondBranches: 700},
+			Output: []byte("42 lines\xff\x00raw"),
+		},
+		StaticBase:  500,
+		StaticReord: 520,
+		Seqs:        []store.SeqStat{{Applied: true, OrigBranches: 4, NewBranches: 3}},
+	}
+}
+
+// zeros is an endless stream of zero bytes.
+type zeros struct{}
+
+func (zeros) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}
+
+func testFingerprint(source string) string {
+	return store.Fingerprint(source, []byte("train"), []byte("test"),
+		pipeline.Options{Switch: lower.SetI, Optimize: true})
+}
+
+// newTestServer returns a Server over a fresh directory store plus an
+// httptest frontend.
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(st)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+func testClient(t *testing.T, base string, cfg ClientConfig) *Client {
+	t.Helper()
+	if cfg.Backoff == 0 {
+		cfg.Backoff = time.Millisecond
+	}
+	c, err := NewClient(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// A PUT then GET/HEAD must round-trip the record byte-exactly, and the
+// metrics endpoint must account for the traffic.
+func TestServerRoundTrip(t *testing.T) {
+	srv, hs := newTestServer(t)
+	c := testClient(t, hs.URL, ClientConfig{})
+	ctx := context.Background()
+	fp, rec := testFingerprint("a"), testRecord()
+
+	if _, out := c.Get(ctx, fp); out != Miss {
+		t.Fatalf("Get before Put: %v, want miss", out)
+	}
+	if ok, err := c.Head(ctx, fp); err != nil || ok {
+		t.Fatalf("Head before Put: %v, %v", ok, err)
+	}
+	if err := c.Put(ctx, fp, rec); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.Head(ctx, fp); err != nil || !ok {
+		t.Fatalf("Head after Put: %v, %v", ok, err)
+	}
+	got, out := c.Get(ctx, fp)
+	if out != Hit {
+		t.Fatalf("Get after Put: %v, want hit", out)
+	}
+	if !bytes.Equal(got.Base.Output, rec.Base.Output) || got.Workload != rec.Workload {
+		t.Errorf("round trip changed the record")
+	}
+
+	st := srv.Stats()
+	if st.Puts != 1 || st.Hits != 2 || st.Misses < 1 || st.BytesIn == 0 || st.BytesOut == 0 {
+		t.Errorf("stats after round trip: %+v", st)
+	}
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"brstored_hits 2", "brstored_puts 1", "brstored_evictions 0"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// Uploads that fail validation must be rejected and never reach disk:
+// a fingerprint-mismatched entry, corrupted payload bytes, garbage, an
+// oversized declared length, and a length-less chunked upload.
+func TestServerPutRejects(t *testing.T) {
+	srv, hs := newTestServer(t)
+	ctx := context.Background()
+	fpA, fpB := testFingerprint("a"), testFingerprint("b")
+	good, err := store.Encode(fpA, testRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	put := func(fp string, body []byte, length int64) int {
+		t.Helper()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, hs.URL+entryPath(fp), bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.ContentLength = length
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drain(resp)
+		return resp.StatusCode
+	}
+
+	corrupt := bytes.Replace(good, []byte(`"workload"`), []byte(`"workl0ad"`), 1)
+	cases := []struct {
+		name string
+		fp   string
+		body []byte
+		len  int64
+		want int
+	}{
+		{"fingerprint mismatch", fpB, good, int64(len(good)), http.StatusBadRequest},
+		{"corrupted payload", fpA, corrupt, int64(len(corrupt)), http.StatusBadRequest},
+		{"garbage", fpA, []byte("not json"), 8, http.StatusBadRequest},
+		{"no content length", fpA, good, -1, http.StatusLengthRequired},
+		{"malformed fingerprint", "zz", good, int64(len(good)), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if code := put(tc.fp, tc.body, tc.len); code != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, code, tc.want)
+		}
+	}
+
+	// Oversized: declare MaxEntryBytes+1 and stream zeros. With
+	// Expect: 100-continue the server refuses before the body is sent.
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, hs.URL+entryPath(fpA),
+		io.LimitReader(zeros{}, MaxEntryBytes+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.ContentLength = MaxEntryBytes + 1
+	req.Header.Set("Expect", "100-continue")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(resp)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized: status %d, want 413", resp.StatusCode)
+	}
+
+	if st := srv.Stats(); st.Puts != 0 || st.PutRejects != int64(len(cases)+1) {
+		t.Errorf("stats after rejects: %+v, want 0 puts / %d rejects", st, len(cases)+1)
+	}
+
+	// Nothing hostile landed: both keys still miss.
+	c := testClient(t, hs.URL, ClientConfig{})
+	for _, fp := range []string{fpA, fpB} {
+		if _, out := c.Get(ctx, fp); out != Miss {
+			t.Errorf("poisoned pool: %s is a %v", fp[:8], out)
+		}
+	}
+}
+
+// An entry corrupted on the server's disk must serve as a miss (404),
+// counted as invalid — the same contract the local disk tier has.
+func TestServerCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(st)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	fp := testFingerprint("a")
+	if err := st.Put(fp, testRecord()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fp[:2], fp+".json")
+	if err := os.WriteFile(path, []byte("rotten"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := testClient(t, hs.URL, ClientConfig{})
+	if _, out := c.Get(context.Background(), fp); out != Miss {
+		t.Fatalf("corrupt entry served as %v, want miss", out)
+	}
+	if stats := srv.Stats(); stats.Invalid != 1 {
+		t.Errorf("invalid counter = %d, want 1", stats.Invalid)
+	}
+}
+
+// GET with a non-fingerprint key must be a 400, not a filesystem probe.
+func TestServerRejectsMalformedFingerprint(t *testing.T) {
+	_, hs := newTestServer(t)
+	for _, fp := range []string{"zz", strings.Repeat("A", 64), strings.Repeat("a", 63)} {
+		resp, err := http.Get(hs.URL + entryPath(fp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		drain(resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("fp %q: status %d, want 400", fp, resp.StatusCode)
+		}
+	}
+}
+
+// Server.GC must evict and count; /metrics must show it.
+func TestServerGCCountsEvictions(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(st)
+	for i := 0; i < 3; i++ {
+		fp := testFingerprint(fmt.Sprintf("src%d", i))
+		if err := st.Put(fp, testRecord()); err != nil {
+			t.Fatal(err)
+		}
+		// Backdate so a max-age pass evicts everything.
+		old := time.Now().Add(-2 * time.Hour)
+		os.Chtimes(filepath.Join(dir, fp[:2], fp+".json"), old, old)
+	}
+	res, err := srv.GC(time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evicted != 3 {
+		t.Fatalf("evicted %d, want 3", res.Evicted)
+	}
+	if st := srv.Stats(); st.Evictions != 3 {
+		t.Errorf("evictions counter = %d, want 3", st.Evictions)
+	}
+}

@@ -1,0 +1,44 @@
+// Package storenet shares one result store across a fleet over HTTP.
+//
+// Server wraps a store.Store as a small content-addressed HTTP API —
+// GET/HEAD/PUT of entries keyed by their SHA-256 fingerprints, plus a
+// plaintext /metrics endpoint — and is what cmd/brstored serves. Because
+// entries are immutable and content-addressed, the protocol needs no
+// invalidation, no locking, and no coordination: a PUT either lands a
+// byte-validated entry or is rejected, and concurrent PUTs of the same
+// fingerprint write identical content.
+//
+// Client is the engine-facing side: a third cache tier behind the
+// in-memory memo and the disk store. It is built to degrade, not to
+// fail — every request carries a timeout, transient errors (5xx,
+// connection loss) are retried a bounded number of times with
+// exponentially backed-off, jittered delays, concurrent fetches of one
+// fingerprint are deduplicated (single-flight), and once the server
+// looks dead a breaker stops paying the timeout tax for the rest of the
+// run. No Client failure ever propagates as an error to the build: the
+// caller's local tiers simply take over.
+package storenet
+
+// MaxEntryBytes bounds one serialized store entry in both directions:
+// the server refuses larger uploads before reading them, and the client
+// refuses to slurp a larger response. Real entries are a few hundred KB;
+// the bound only exists so a hostile peer cannot force unbounded memory.
+const MaxEntryBytes = 16 << 20
+
+// entryPath returns the URL path of fp's entry.
+func entryPath(fp string) string { return "/v1/entry/" + fp }
+
+// validFingerprint reports whether fp is a lowercase SHA-256 hex digest
+// — the only keys the store hands out, and the only ones the server
+// lets near the filesystem.
+func validFingerprint(fp string) bool {
+	if len(fp) != 64 {
+		return false
+	}
+	for _, c := range fp {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
