@@ -23,6 +23,7 @@ import (
 	"branchreorder/internal/ir"
 	"branchreorder/internal/lower"
 	"branchreorder/internal/pipeline"
+	"branchreorder/internal/predictor"
 	"branchreorder/internal/sim"
 	"branchreorder/internal/workload"
 )
@@ -202,26 +203,64 @@ func BenchmarkBuildReordered(b *testing.B) {
 	}
 }
 
-// BenchmarkInterp times raw interpretation of the optimized wc binary.
+// BenchmarkInterp times raw execution of optimized binaries on both
+// engines: the flat-decoded fast engine (the measurement path) and the
+// block-walking reference interpreter it is differentially tested
+// against. sort is the suite's heaviest workload by dynamic instruction
+// count (Table 4); wc is the classic light one.
 func BenchmarkInterp(b *testing.B) {
+	for _, name := range []string{"sort", "wc"} {
+		w, ok := workload.Named(name)
+		if !ok {
+			b.Fatalf("%s workload missing", name)
+		}
+		front, err := pipeline.Frontend(w.Source, pipeline.Options{Switch: lower.SetI, Optimize: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		input := w.Test()
+		code, err := interp.Decode(front.Prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/fast", func(b *testing.B) {
+			b.SetBytes(int64(len(input)))
+			m := &interp.FastMachine{Code: code, Input: input}
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/reference", func(b *testing.B) {
+			b.SetBytes(int64(len(input)))
+			for i := 0; i < b.N; i++ {
+				m := &interp.Machine{Prog: front.Prog, Input: input}
+				if _, err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecode times the pre-decoding step the fast engine amortizes
+// across runs.
+func BenchmarkDecode(b *testing.B) {
 	w := wcSource(b)
 	front, err := pipeline.Frontend(w.Source, pipeline.Options{Switch: lower.SetI, Optimize: true})
 	if err != nil {
 		b.Fatal(err)
 	}
-	input := w.Test()
-	b.SetBytes(int64(len(input)))
-	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m := &interp.Machine{Prog: front.Prog, Input: input}
-		if _, err := m.Run(); err != nil {
+		if _, err := interp.Decode(front.Prog); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 // BenchmarkSimWithPredictors times measurement with the full predictor
-// battery attached.
+// battery attached (fast engine + vectorized bank, the sim.Run path).
 func BenchmarkSimWithPredictors(b *testing.B) {
 	w := wcSource(b)
 	front, err := pipeline.Frontend(w.Source, pipeline.Options{Switch: lower.SetI, Optimize: true})
@@ -235,6 +274,35 @@ func BenchmarkSimWithPredictors(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPredictorBattery times observing one synthetic branch stream
+// with the whole Table-6 battery: the single-pass Bank against the
+// 14-Bimodal fan-out it replaced in sim.Run.
+func BenchmarkPredictorBattery(b *testing.B) {
+	const streamLen = 4096
+	ids := make([]int, streamLen)
+	taken := make([]bool, streamLen)
+	r := uint64(12345)
+	for i := range ids {
+		r = r*6364136223846793005 + 1442695040888963407
+		ids[i] = int(r>>33) % 200
+		taken[i] = r>>62&1 == 0
+	}
+	b.Run("bank", func(b *testing.B) {
+		bank := predictor.NewTable6Bank()
+		for i := 0; i < b.N; i++ {
+			bank.Observe(ids[i%streamLen], taken[i%streamLen])
+		}
+	})
+	b.Run("bimodals", func(b *testing.B) {
+		preds := sim.PredictorSweep()
+		for i := 0; i < b.N; i++ {
+			for _, p := range preds {
+				p.Observe(ids[i%streamLen], taken[i%streamLen])
+			}
+		}
+	})
 }
 
 // BenchmarkDetect times sequence detection over all workloads' optimized

@@ -37,6 +37,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -72,6 +75,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		storeURL  = fs.String("store-url", "", "fleet-shared brstored result store (third cache tier behind -cache-dir)")
 		storeTO   = fs.Duration("store-timeout", 10*time.Second, "per-request timeout for -store-url operations")
 		cacheGC   = fs.Duration("cache-gc", 0, "before running, evict -cache-dir entries older than this age")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -79,6 +84,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "brbench:", err)
 		return 1
+	}
+
+	// Profiling hooks for the perf workflow: the CPU profile covers the
+	// whole run (builds and rendering), the heap profile is a snapshot
+	// after a final GC, when only long-lived allocations remain.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(stderr, "brbench:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "brbench:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	shardIdx, shardN, err := parseShard(*shardFlag)
@@ -168,6 +205,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 					shardStats.Builds, shardStats.DiskHits, shardStats.RemoteHits, shardStats.RemoteFallbacks)
 			}
 			fmt.Fprintf(stderr, ", %.2fs elapsed (-j %d)\n", time.Since(start).Seconds(), engine.Jobs())
+			if len(st.BuildSeconds) > 0 {
+				names := make([]string, 0, len(st.BuildSeconds))
+				total := 0.0
+				for name, sec := range st.BuildSeconds {
+					names = append(names, name)
+					total += sec
+				}
+				sort.Strings(names)
+				fmt.Fprintf(stderr, "brbench: build+measure wall-clock:")
+				for i, name := range names {
+					sep := " "
+					if i > 0 {
+						sep = ", "
+					}
+					fmt.Fprintf(stderr, "%s%s %.2fs", sep, name, st.BuildSeconds[name])
+				}
+				fmt.Fprintf(stderr, " (total %.2fs)\n", total)
+			}
 		}
 	}()
 

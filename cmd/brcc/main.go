@@ -227,7 +227,9 @@ func listSequences(prog *ir.Program) {
 }
 
 func execute(label string, prog *ir.Program, input []byte) {
-	m := &interp.Machine{Prog: prog, Input: input}
+	code, err := interp.Decode(prog)
+	check(err)
+	m := &interp.FastMachine{Code: code, Input: input}
 	ret, err := m.Run()
 	check(err)
 	os.Stdout.Write(m.Output.Bytes())

@@ -1,0 +1,179 @@
+// Command brperf measures the execution core's headline benchmarks —
+// interpreter throughput on both engines, decode cost, the full
+// measurement path and the predictor battery — and writes them as a
+// JSON document. Committing the output as BENCH_baseline.json (and
+// diffing later runs against it) gives the repo a performance
+// trajectory that survives across machines and PRs:
+//
+//	go run ./cmd/brperf -o BENCH_baseline.json
+//	go run ./cmd/brperf | diff BENCH_baseline.json -   # eyeball a change
+//
+// The same numbers are available as ordinary go benchmarks
+// (go test -bench 'Interp|Decode|SimWithPredictors|PredictorBattery');
+// brperf exists so CI and scripts get machine-readable output without
+// parsing benchmark text.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"branchreorder/internal/interp"
+	"branchreorder/internal/lower"
+	"branchreorder/internal/pipeline"
+	"branchreorder/internal/predictor"
+	"branchreorder/internal/sim"
+	"branchreorder/internal/workload"
+)
+
+// result is one benchmark's measurement in the JSON document.
+type result struct {
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	N           int     `json:"n"` // iterations the timing is averaged over
+}
+
+type document struct {
+	GoVersion  string            `json:"goVersion"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "brperf:", err)
+		os.Exit(1)
+	}
+}
+
+// frontend compiles one workload the way the benchmarks measure it.
+func frontend(name string) (*lower.Result, workload.Workload, error) {
+	w, ok := workload.Named(name)
+	if !ok {
+		return nil, w, fmt.Errorf("workload %q missing", name)
+	}
+	front, err := pipeline.Frontend(w.Source, pipeline.Options{Switch: lower.SetI, Optimize: true})
+	return front, w, err
+}
+
+func run(out string) error {
+	doc := document{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: map[string]result{},
+	}
+	record := func(name string, r testing.BenchmarkResult) {
+		doc.Benchmarks[name] = result{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		}
+		fmt.Fprintf(os.Stderr, "brperf: %-28s %12.0f ns/op  %6d allocs/op  (n=%d)\n",
+			name, doc.Benchmarks[name].NsPerOp, r.AllocsPerOp(), r.N)
+	}
+
+	// Interpreter throughput, both engines, on the suite's heaviest
+	// workload by dynamic instruction count (sort, Table 4) and the
+	// classic light one (wc) — the PR-over-PR speedup headline.
+	for _, name := range []string{"sort", "wc"} {
+		front, w, err := frontend(name)
+		if err != nil {
+			return err
+		}
+		input := w.Test()
+		code, err := interp.Decode(front.Prog)
+		if err != nil {
+			return err
+		}
+		record("Interp/"+name+"/fast", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			m := &interp.FastMachine{Code: code, Input: input}
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		record("Interp/"+name+"/reference", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m := &interp.Machine{Prog: front.Prog, Input: input}
+				if _, err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	front, w, err := frontend("wc")
+	if err != nil {
+		return err
+	}
+	input := w.Test()
+	record("Decode/wc", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := interp.Decode(front.Prog); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	record("SimWithPredictors/wc", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(front.Prog, input, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Table-6 battery on a synthetic stream: the vectorized bank versus
+	// the 14-Bimodal fan-out it replaced. Same stream as the go test
+	// benchmark (BenchmarkPredictorBattery).
+	const streamLen = 4096
+	ids := make([]int, streamLen)
+	taken := make([]bool, streamLen)
+	r := uint64(12345)
+	for i := range ids {
+		r = r*6364136223846793005 + 1442695040888963407
+		ids[i] = int(r>>33) % 200
+		taken[i] = r>>62&1 == 0
+	}
+	record("PredictorBattery/bank", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		bank := predictor.NewTable6Bank()
+		for i := 0; i < b.N; i++ {
+			bank.Observe(ids[i%streamLen], taken[i%streamLen])
+		}
+	}))
+	record("PredictorBattery/bimodals", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		preds := sim.PredictorSweep()
+		for i := 0; i < b.N; i++ {
+			for _, p := range preds {
+				p.Observe(ids[i%streamLen], taken[i%streamLen])
+			}
+		}
+	}))
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(out, enc, 0o644)
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"branchreorder/internal/bench/store"
 	"branchreorder/internal/bench/storenet"
@@ -113,7 +114,14 @@ func (e *Engine) Seed(r *ProgramRun) {
 func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.stats
+	s := e.stats
+	if e.stats.BuildSeconds != nil {
+		s.BuildSeconds = make(map[string]float64, len(e.stats.BuildSeconds))
+		for w, sec := range e.stats.BuildSeconds {
+			s.BuildSeconds[w] = sec
+		}
+	}
+	return s
 }
 
 func (e *Engine) logf(format string, args ...interface{}) {
@@ -237,7 +245,17 @@ func (e *Engine) Get(ctx context.Context, w workload.Workload, opts pipeline.Opt
 	e.stats.Builds++
 	e.mu.Unlock()
 	e.logf("building %-8s heuristic set %v%s\n", w.Name, opts.Switch, optsSuffix(opts))
+	start := time.Now()
 	ent.run, ent.err = RunOpts(w, opts)
+	if ent.err == nil {
+		elapsed := time.Since(start).Seconds()
+		e.mu.Lock()
+		if e.stats.BuildSeconds == nil {
+			e.stats.BuildSeconds = map[string]float64{}
+		}
+		e.stats.BuildSeconds[w.Name] += elapsed
+		e.mu.Unlock()
+	}
 	if ent.err == nil && (e.disk != nil || e.remote != nil) {
 		// A write failure costs only the cache entry, not the run.
 		rec := ent.run.Record()

@@ -24,6 +24,12 @@ type TierStats struct {
 	RemoteMisses    int `json:"remoteMisses,omitempty"`    // reachable server, no entry
 	RemoteFallbacks int `json:"remoteFallbacks,omitempty"` // remote failures absorbed by the local tiers
 	RemotePuts      int `json:"remotePuts,omitempty"`      // fresh results uploaded to the network store
+
+	// BuildSeconds is the wall-clock cost of the jobs behind Builds,
+	// keyed by workload and summed over every configuration built for
+	// it. Cache hits add nothing, so a BENCH trajectory over exports
+	// tracks engine speed separately from cache effectiveness.
+	BuildSeconds map[string]float64 `json:"buildSeconds,omitempty"`
 }
 
 // Add accumulates o into s, counter by counter — how a merge totals the
@@ -38,4 +44,10 @@ func (s *TierStats) Add(o TierStats) {
 	s.RemoteMisses += o.RemoteMisses
 	s.RemoteFallbacks += o.RemoteFallbacks
 	s.RemotePuts += o.RemotePuts
+	for w, sec := range o.BuildSeconds {
+		if s.BuildSeconds == nil {
+			s.BuildSeconds = make(map[string]float64, len(o.BuildSeconds))
+		}
+		s.BuildSeconds[w] += sec
+	}
 }

@@ -237,13 +237,23 @@ func TestExportRoundTrip(t *testing.T) {
 
 func TestTierStatsAdd(t *testing.T) {
 	a := TierStats{Builds: 1, Hits: 2, DiskHits: 3, DiskMisses: 4, DiskInvalid: 5,
-		RemoteHits: 6, RemoteMisses: 7, RemoteFallbacks: 8, RemotePuts: 9}
-	sum := a
+		RemoteHits: 6, RemoteMisses: 7, RemoteFallbacks: 8, RemotePuts: 9,
+		BuildSeconds: map[string]float64{"wc": 0.5, "sort": 2}}
+	sum := TierStats{Builds: 1, BuildSeconds: map[string]float64{"wc": 0.25}}
 	sum.Add(a)
-	want := TierStats{Builds: 2, Hits: 4, DiskHits: 6, DiskMisses: 8, DiskInvalid: 10,
-		RemoteHits: 12, RemoteMisses: 14, RemoteFallbacks: 16, RemotePuts: 18}
-	if sum != want {
+	sum.Add(a)
+	want := TierStats{Builds: 3, Hits: 4, DiskHits: 6, DiskMisses: 8, DiskInvalid: 10,
+		RemoteHits: 12, RemoteMisses: 14, RemoteFallbacks: 16, RemotePuts: 18,
+		BuildSeconds: map[string]float64{"wc": 1.25, "sort": 4}}
+	if !reflect.DeepEqual(sum, want) {
 		t.Errorf("Add: %+v, want %+v", sum, want)
+	}
+
+	// Adding a stats value without timings must leave the target's nil.
+	var zero TierStats
+	zero.Add(TierStats{Builds: 1})
+	if zero.BuildSeconds != nil {
+		t.Errorf("Add materialized an empty BuildSeconds map")
 	}
 }
 

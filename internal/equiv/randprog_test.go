@@ -1,0 +1,299 @@
+package equiv
+
+import (
+	"strings"
+	"testing"
+
+	"branchreorder/internal/interp"
+	"branchreorder/internal/ir"
+	"branchreorder/internal/workload"
+)
+
+// randMaxSteps bounds random-program runs: generated CFGs loop freely,
+// and the step-limit path is itself part of the contract under test.
+const randMaxSteps = 1 << 15
+
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng { return &rng{s: seed*2862933555777941757 + 3037000493} }
+
+func (r *rng) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 33
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// operand yields a register of the function (mostly) or an immediate in
+// a range that includes 0 (so Div/Rem traps stay reachable) and values
+// beyond memory bounds (so Ld/St traps stay reachable).
+func (r *rng) operand(nRegs int) ir.Operand {
+	if r.intn(3) == 0 {
+		return ir.Imm(int64(r.intn(40) - 8))
+	}
+	return ir.R(ir.Reg(r.intn(nRegs)))
+}
+
+var straightOps = []ir.Op{
+	ir.Mov, ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Rem, ir.And, ir.Or,
+	ir.Xor, ir.Shl, ir.Shr, ir.Neg, ir.Not, ir.Cmp, ir.Ld, ir.St,
+	ir.GetChar, ir.PutChar, ir.PutInt,
+}
+
+// genFunc fills f with a random CFG. Functions may only call
+// higher-indexed functions (callees), keeping the call graph acyclic so
+// recursion cannot blow past the frame budget; loops come from branch
+// and goto back-edges instead.
+func genFunc(r *rng, f *ir.Func, callees []string) {
+	nBlocks := 2 + r.intn(5)
+	blocks := make([]*ir.Block, nBlocks)
+	for i := range blocks {
+		blocks[i] = f.NewBlock()
+	}
+	for bi, b := range blocks {
+		nInsts := r.intn(5)
+		for i := 0; i < nInsts; i++ {
+			var in ir.Inst
+			if len(callees) > 0 && r.intn(8) == 0 {
+				in = ir.Inst{Op: ir.Call, Callee: callees[r.intn(len(callees))]}
+				if r.intn(6) == 0 {
+					in.Callee = "nowhere" // unknown-callee trap parity
+				}
+				for a := r.intn(3); a > 0; a-- {
+					in.Args = append(in.Args, r.operand(f.NRegs))
+				}
+				if r.intn(4) != 0 {
+					in.Dst = ir.Reg(r.intn(f.NRegs))
+				} else {
+					in.Dst = ir.NoReg
+				}
+			} else if r.intn(10) == 0 {
+				in = ir.Inst{Op: ir.ProfCond, SeqID: r.intn(4), Sub: r.intn(3),
+					Rel: ir.Rel(r.intn(6)), A: r.operand(f.NRegs), B: r.operand(f.NRegs)}
+			} else {
+				in = ir.Inst{
+					Op:  straightOps[r.intn(len(straightOps))],
+					Dst: ir.Reg(r.intn(f.NRegs)),
+					A:   r.operand(f.NRegs),
+					B:   r.operand(f.NRegs),
+				}
+			}
+			b.Insts = append(b.Insts, in)
+		}
+		switch {
+		case bi == nBlocks-1 || r.intn(4) == 0:
+			b.Term = ir.Term{Kind: ir.TermRet, Val: r.operand(f.NRegs)}
+		case r.intn(8) == 0:
+			n := 1 + r.intn(3)
+			targets := make([]*ir.Block, n)
+			for i := range targets {
+				targets[i] = blocks[r.intn(nBlocks)]
+			}
+			// Index occasionally lands out of range — trap parity.
+			b.Term = ir.Term{Kind: ir.TermIJmp, Index: r.operand(f.NRegs), Targets: targets}
+		case r.intn(3) == 0:
+			b.Term = ir.Term{Kind: ir.TermGoto, Taken: blocks[r.intn(nBlocks)]}
+		default:
+			// Bias toward defined flags so runs get past the first
+			// branch; the undefined-flags trap stays reachable.
+			if r.intn(5) != 0 {
+				b.Insts = append(b.Insts, ir.Inst{Op: ir.Cmp,
+					A: r.operand(f.NRegs), B: r.operand(f.NRegs)})
+			}
+			b.Term = ir.Term{Kind: ir.TermBr, Rel: ir.Rel(r.intn(6)),
+				Taken: blocks[r.intn(nBlocks)], Next: blocks[(bi+1)%nBlocks]}
+		}
+	}
+}
+
+// genProgram builds a random linearized program: 1-3 functions with an
+// acyclic call graph, a small memory with an initialized global, and
+// (half the time) delay slots filled.
+func genProgram(seed uint64) *ir.Program {
+	r := newRng(seed)
+	p := &ir.Program{MemSize: 16}
+	p.Globals = []*ir.Global{{Name: "g", Addr: 0, Size: 8,
+		Init: []int64{3, 1, 4, 1, 5, 9, 2, 6}}}
+	names := []string{"main", "f1", "f2"}[:1+r.intn(3)]
+	for i, name := range names {
+		f := &ir.Func{Name: name, NRegs: 2 + r.intn(4)}
+		if i > 0 {
+			f.NParams = r.intn(3)
+			if f.NParams > f.NRegs {
+				f.NParams = f.NRegs
+			}
+		}
+		p.Funcs = append(p.Funcs, f)
+	}
+	for i, f := range p.Funcs {
+		var callees []string
+		for _, g := range p.Funcs[i+1:] {
+			callees = append(callees, g.Name)
+		}
+		genFunc(r, f, callees)
+	}
+	p.Linearize()
+	if r.intn(2) == 0 {
+		p.FillDelaySlots()
+		p.Linearize()
+	}
+	return p
+}
+
+type engineRun struct {
+	ret      int64
+	err      string
+	out      string
+	stats    interp.Stats
+	branches []int64
+	profs    []int64
+}
+
+func hooks(r *engineRun) (func(int, bool), func(int, int, int64)) {
+	return func(id int, taken bool) {
+			tk := int64(0)
+			if taken {
+				tk = 1
+			}
+			r.branches = append(r.branches, int64(id), tk)
+		}, func(seq, sub int, v int64) {
+			r.profs = append(r.profs, int64(seq), int64(sub), v)
+		}
+}
+
+func runBoth(t testing.TB, p *ir.Program, input []byte) (ref, fast engineRun) {
+	t.Helper()
+	rm := &interp.Machine{Prog: p, Input: input, MaxSteps: randMaxSteps}
+	rm.OnBranch, rm.OnProf = hooks(&ref)
+	ret, err := rm.Run()
+	ref.ret, ref.out, ref.stats = ret, rm.Output.String(), rm.Stats
+	if err != nil {
+		ref.err = err.Error()
+	}
+
+	code, derr := interp.Decode(p)
+	if derr != nil {
+		t.Fatalf("decode: %v", derr)
+	}
+	fm := &interp.FastMachine{Code: code, Input: input, MaxSteps: randMaxSteps}
+	fm.OnBranch, fm.OnProf = hooks(&fast)
+	ret, err = fm.Run()
+	fast.ret, fast.out, fast.stats = ret, fm.Output.String(), fm.Stats
+	if err != nil {
+		fast.err = err.Error()
+	}
+	return ref, fast
+}
+
+func eqInt64s(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// compareRuns applies the engine contract: completed runs agree on
+// everything; trapped runs agree on the error, except around a step-limit
+// abort, where the fast engine's block-granular budget may surface as a
+// different abort point (both sides must still abort).
+func compareRuns(t testing.TB, label string, ref, fast engineRun) {
+	t.Helper()
+	stepLimited := strings.Contains(ref.err, "step limit") || strings.Contains(fast.err, "step limit")
+	if stepLimited {
+		if ref.err == "" || fast.err == "" {
+			t.Errorf("%s: step-limit abort on one engine only: ref=%q fast=%q",
+				label, ref.err, fast.err)
+		}
+		return
+	}
+	if ref.err != fast.err {
+		t.Errorf("%s: errors differ: ref=%q fast=%q", label, ref.err, fast.err)
+		return
+	}
+	// Same trap (or none): the executed effect sequence is identical.
+	if ref.ret != fast.ret && ref.err == "" {
+		t.Errorf("%s: ret ref=%d fast=%d", label, ref.ret, fast.ret)
+	}
+	if ref.out != fast.out {
+		t.Errorf("%s: output ref=%q fast=%q", label, ref.out, fast.out)
+	}
+	if !eqInt64s(ref.branches, fast.branches) {
+		t.Errorf("%s: branch streams differ (%d vs %d events)",
+			label, len(ref.branches)/2, len(fast.branches)/2)
+	}
+	if !eqInt64s(ref.profs, fast.profs) {
+		t.Errorf("%s: prof streams differ", label)
+	}
+	// Stats are only exact on completed runs (trap-point charges are
+	// block-granular on the fast engine).
+	if ref.err == "" && ref.stats != fast.stats {
+		t.Errorf("%s: stats\nref:  %+v\nfast: %+v", label, ref.stats, fast.stats)
+	}
+}
+
+// TestRandomProgramEquivalence fuzzes the engines against each other
+// with generated CFGs and adversarial inputs.
+func TestRandomProgramEquivalence(t *testing.T) {
+	n := 400
+	if testing.Short() {
+		n = 60
+	}
+	completed := 0
+	for seed := 0; seed < n; seed++ {
+		p := genProgram(uint64(seed))
+		for _, input := range [][]byte{nil, workload.FuzzInput(uint64(seed)+1000, 200)} {
+			ref, fast := runBoth(t, p, input)
+			compareRuns(t, labelFor(seed, input), ref, fast)
+			if ref.err == "" {
+				completed++
+			}
+		}
+	}
+	// The generator must keep producing runs that complete, or the
+	// strong (stats-comparing) arm of the contract goes untested.
+	if completed < n/5 {
+		t.Errorf("only %d/%d runs completed; generator too trap-happy", completed, 2*n)
+	}
+}
+
+func labelFor(seed int, input []byte) string {
+	tag := "nil"
+	if input != nil {
+		tag = "fuzz"
+	}
+	return "seed=" + itoa(seed) + "/" + tag
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// FuzzEngines explores program and input space beyond the fixed seeds.
+func FuzzEngines(f *testing.F) {
+	f.Add(uint64(1), []byte("hello\n42 "))
+	f.Add(uint64(77), []byte{0, 255, '\n'})
+	f.Add(uint64(123456), []byte("a-b c.d 9/0"))
+	f.Fuzz(func(t *testing.T, seed uint64, input []byte) {
+		if len(input) > 4096 {
+			input = input[:4096]
+		}
+		p := genProgram(seed)
+		ref, fast := runBoth(t, p, input)
+		compareRuns(t, "fuzz", ref, fast)
+	})
+}

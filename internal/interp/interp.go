@@ -12,6 +12,7 @@ package interp
 import (
 	"bytes"
 	"fmt"
+	"strconv"
 
 	"branchreorder/internal/ir"
 )
@@ -77,9 +78,10 @@ type Machine struct {
 	Stats  Stats
 	Output bytes.Buffer
 
-	mem   []int64
-	inPos int
-	steps uint64
+	mem    []int64
+	inPos  int
+	steps  uint64
+	numBuf [24]byte
 }
 
 // RuntimeError describes a trap during execution.
@@ -244,6 +246,26 @@ func (m *Machine) exec(fr *frame, in *ir.Inst) error {
 		return nil // zero cost
 	case ir.Nop:
 		return nil
+	case ir.Call:
+		// The call instruction is accounted for in call() — Calls and
+		// Insts exactly once — and consumes no step budget: the callee's
+		// own instructions bound the run.
+		callee := m.Prog.Func(in.Callee)
+		if callee == nil {
+			return &RuntimeError{fr.f.Name, "call to unknown function " + in.Callee}
+		}
+		args := make([]int64, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = m.val(fr, a)
+		}
+		ret, err := m.call(callee, args)
+		if err != nil {
+			return err
+		}
+		if in.Dst != ir.NoReg {
+			fr.regs[in.Dst] = ret
+		}
+		return nil
 	}
 	m.Stats.Insts++
 	if err := m.step(fr, 1); err != nil {
@@ -312,27 +334,7 @@ func (m *Machine) exec(fr *frame, in *ir.Inst) error {
 	case ir.PutChar:
 		m.Output.WriteByte(byte(m.val(fr, in.A)))
 	case ir.PutInt:
-		fmt.Fprintf(&m.Output, "%d", m.val(fr, in.A))
-	case ir.Call:
-		callee := m.Prog.Func(in.Callee)
-		if callee == nil {
-			return &RuntimeError{fr.f.Name, "call to unknown function " + in.Callee}
-		}
-		args := make([]int64, len(in.Args))
-		for i, a := range in.Args {
-			args[i] = m.val(fr, a)
-		}
-		// The Insts++ above accounted for the call instruction; the
-		// callee's accounting happens in call(). Undo the double count.
-		m.Stats.Insts--
-		m.steps--
-		ret, err := m.call(callee, args)
-		if err != nil {
-			return err
-		}
-		if in.Dst != ir.NoReg {
-			fr.regs[in.Dst] = ret
-		}
+		m.Output.Write(strconv.AppendInt(m.numBuf[:0], m.val(fr, in.A), 10))
 	default:
 		return &RuntimeError{fr.f.Name, fmt.Sprintf("unknown opcode %v", in.Op)}
 	}

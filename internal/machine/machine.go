@@ -31,9 +31,12 @@ type Config struct {
 	StaticPipeline bool
 
 	// PredictorBits and PredictorEntries describe the dynamic predictor
-	// used when StaticPipeline is false.
+	// used when StaticPipeline is false. PredictorName is the predictor's
+	// precomputed display name ("(0,Bits)xEntries"), so the cycle model
+	// does not re-format it on every evaluation.
 	PredictorBits    int
 	PredictorEntries int
+	PredictorName    string
 
 	// IJmpExtra is the extra latency per indirect jump beyond its
 	// instruction cost.
@@ -80,6 +83,7 @@ var (
 		BranchPenalty:    4,
 		PredictorBits:    2,
 		PredictorEntries: 2048,
+		PredictorName:    "(0,2)x2048",
 		IJmpExtra:        8,
 		IJmpInsts:        3,
 		DelaySlots:       true,

@@ -38,7 +38,11 @@ func AutoBuild(src string, train []byte, base Options) (*AutoResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("auto build (set %v): %w", set, err)
 		}
-		m := &interp.Machine{Prog: b.Reordered, Input: train}
+		code, err := interp.Decode(b.Reordered)
+		if err != nil {
+			return nil, fmt.Errorf("auto evaluation (set %v): %w", set, err)
+		}
+		m := &interp.FastMachine{Code: code, Input: train}
 		if _, err := m.Run(); err != nil {
 			return nil, fmt.Errorf("auto evaluation (set %v): %w", set, err)
 		}

@@ -80,7 +80,11 @@ func Build(src string, train []byte, o Options) (*BuildResult, error) {
 		return nil, fmt.Errorf("verify after instrumentation: %w", err)
 	}
 	rangeHook, orHook := out.Profile.Hook(), out.OrProfile.Hook()
-	m := &interp.Machine{Prog: prog, Input: train,
+	code, err := interp.Decode(prog)
+	if err != nil {
+		return nil, fmt.Errorf("training run: %w", err)
+	}
+	m := &interp.FastMachine{Code: code, Input: train,
 		OnProf: func(seqID, sub int, v int64) {
 			rangeHook(seqID, sub, v)
 			orHook(seqID, sub, v)

@@ -69,7 +69,11 @@ func (ins *Instrumented) Train(input []byte) (*core.Profile, *core.OrProfile, er
 	prof := core.NewProfile(ins.Sequences)
 	orProf := core.NewOrProfile(ins.OrSequences)
 	rangeHook, orHook := prof.Hook(), orProf.Hook()
-	m := &interp.Machine{Prog: ins.Prog, Input: input,
+	code, err := interp.Decode(ins.Prog)
+	if err != nil {
+		return nil, nil, fmt.Errorf("training run: %w", err)
+	}
+	m := &interp.FastMachine{Code: code, Input: input,
 		OnProf: func(seqID, sub int, v int64) {
 			rangeHook(seqID, sub, v)
 			orHook(seqID, sub, v)

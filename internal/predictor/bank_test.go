@@ -1,0 +1,112 @@
+package predictor
+
+import "testing"
+
+// lcg gives the tests a deterministic branch stream.
+type lcg struct{ s uint64 }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s >> 33
+}
+
+// TestBankMatchesBimodals drives the Table-6 bank and the 14 individual
+// Bimodal predictors with the same stream and demands bit-identical
+// mispredict counts — the property that lets sim.Run swap the fan-out
+// for a single Observe per branch.
+func TestBankMatchesBimodals(t *testing.T) {
+	specs := Table6Specs()
+	bank := NewBank(specs)
+	var ref []*Bimodal
+	for _, s := range specs {
+		ref = append(ref, NewBimodal(s.Bits, s.Entries))
+	}
+	g := &lcg{s: 7}
+	for i := 0; i < 200000; i++ {
+		// Mostly dense small IDs (linearization's shape), some huge,
+		// some negative to exercise the modulo fallback.
+		id := int(g.next() % 4096)
+		switch g.next() % 16 {
+		case 0:
+			id = int(g.next())
+		case 1:
+			id = -id
+		}
+		taken := g.next()&3 != 0 // biased-taken, like loop branches
+		bank.Observe(id, taken)
+		for _, p := range ref {
+			p.Observe(id, taken)
+		}
+	}
+	if bank.Len() != len(ref) {
+		t.Fatalf("bank has %d predictors, want %d", bank.Len(), len(ref))
+	}
+	byName := bank.Mispredicts()
+	for i, p := range ref {
+		if bank.Name(i) != p.Name() {
+			t.Errorf("predictor %d named %q, want %q", i, bank.Name(i), p.Name())
+		}
+		if bank.MispredictsOf(i) != p.Mispredicts {
+			t.Errorf("%s: bank %d mispredicts, bimodal %d",
+				p.Name(), bank.MispredictsOf(i), p.Mispredicts)
+		}
+		if byName[p.Name()] != p.Mispredicts {
+			t.Errorf("%s: map reports %d, want %d",
+				p.Name(), byName[p.Name()], p.Mispredicts)
+		}
+		if bank.Branches != p.Branches {
+			t.Errorf("%s: bank saw %d branches, bimodal %d",
+				p.Name(), bank.Branches, p.Branches)
+		}
+	}
+}
+
+func TestBankReset(t *testing.T) {
+	bank := NewTable6Bank()
+	fresh := NewTable6Bank()
+	g := &lcg{s: 99}
+	for i := 0; i < 5000; i++ {
+		bank.Observe(int(g.next()%512), g.next()&1 == 0)
+	}
+	bank.Reset()
+	if bank.Branches != 0 {
+		t.Errorf("Branches = %d after Reset", bank.Branches)
+	}
+	g2 := &lcg{s: 31}
+	for i := 0; i < 5000; i++ {
+		id, taken := int(g2.next()%512), g2.next()&1 == 0
+		bank.Observe(id, taken)
+		fresh.Observe(id, taken)
+	}
+	for i := 0; i < bank.Len(); i++ {
+		if bank.MispredictsOf(i) != fresh.MispredictsOf(i) {
+			t.Errorf("%s: reset bank %d mispredicts, fresh %d",
+				bank.Name(i), bank.MispredictsOf(i), fresh.MispredictsOf(i))
+		}
+	}
+}
+
+func TestBankNonPowerOfTwo(t *testing.T) {
+	bank := NewBank([]Spec{{Bits: 2, Entries: 100}})
+	ref := NewBimodal(2, 100)
+	g := &lcg{s: 5}
+	for i := 0; i < 50000; i++ {
+		id, taken := int(g.next()%1000), g.next()&1 == 0
+		bank.Observe(id, taken)
+		ref.Observe(id, taken)
+	}
+	if bank.MispredictsOf(0) != ref.Mispredicts {
+		t.Errorf("bank %d mispredicts, bimodal %d", bank.MispredictsOf(0), ref.Mispredicts)
+	}
+}
+
+func TestTable6SpecsShape(t *testing.T) {
+	specs := Table6Specs()
+	if len(specs) != 14 {
+		t.Fatalf("%d specs, want 14", len(specs))
+	}
+	bank := NewBank(specs)
+	if bank.Name(0) != "(0,1)x32" || bank.Name(13) != "(0,2)x2048" {
+		t.Errorf("unexpected endpoints %q, %q", bank.Name(0), bank.Name(13))
+	}
+}

@@ -40,35 +40,49 @@ type Measurement struct {
 
 // Run executes prog on input, simulating the given predictors (pass nil
 // for the full Table 6 sweep) and deriving cycles for every machine model.
+//
+// Execution is on the flat-decoded fast engine (interp.Decode +
+// interp.FastMachine). With the default sweep the whole predictor battery
+// is simulated by one predictor.Bank pass per branch instead of 14
+// separate Bimodal observations; explicit predictors keep the Bimodal
+// fan-out so tests can instrument individual tables.
 func Run(prog *ir.Program, input []byte, preds []*predictor.Bimodal) (*Measurement, error) {
+	code, err := interp.Decode(prog)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	m := &interp.FastMachine{Code: code, Input: input}
+	var bank *predictor.Bank
 	if preds == nil {
-		preds = PredictorSweep()
-	}
-	for _, p := range preds {
-		p.Reset()
-	}
-	m := &interp.Machine{
-		Prog:  prog,
-		Input: input,
-		OnBranch: func(id int, taken bool) {
+		bank = predictor.NewTable6Bank()
+		m.OnBranch = bank.Observe
+	} else {
+		for _, p := range preds {
+			p.Reset()
+		}
+		m.OnBranch = func(id int, taken bool) {
 			for _, p := range preds {
 				p.Observe(id, taken)
 			}
-		},
+		}
 	}
 	ret, err := m.Run()
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	out := &Measurement{
-		Stats:       m.Stats,
-		Output:      m.Output.String(),
-		Ret:         ret,
-		Mispredicts: make(map[string]uint64, len(preds)),
-		Cycles:      map[string]uint64{},
+		Stats:  m.Stats,
+		Output: m.Output.String(),
+		Ret:    ret,
+		Cycles: map[string]uint64{},
 	}
-	for _, p := range preds {
-		out.Mispredicts[p.Name()] = p.Mispredicts
+	if bank != nil {
+		out.Mispredicts = bank.Mispredicts()
+	} else {
+		out.Mispredicts = make(map[string]uint64, len(preds))
+		for _, p := range preds {
+			out.Mispredicts[p.Name()] = p.Mispredicts
+		}
 	}
 	for _, cfg := range machine.All() {
 		out.Cycles[cfg.Name] = Cycles(cfg, m.Stats, out.Mispredicts)
@@ -85,7 +99,10 @@ func Cycles(cfg machine.Config, st interp.Stats, mispreds map[string]uint64) uin
 	if cfg.StaticPipeline {
 		cycles += st.TakenBranches * cfg.BranchPenalty
 	} else {
-		name := fmt.Sprintf("(0,%d)x%d", cfg.PredictorBits, cfg.PredictorEntries)
+		name := cfg.PredictorName
+		if name == "" {
+			name = fmt.Sprintf("(0,%d)x%d", cfg.PredictorBits, cfg.PredictorEntries)
+		}
 		cycles += mispreds[name] * cfg.BranchPenalty
 	}
 	return cycles

@@ -1,0 +1,32 @@
+package workload
+
+// FuzzInput generates adversarial interpreter input: words, digits,
+// punctuation, control bytes, NULs and high bytes — byte classes the
+// workloads dispatch on, in distributions none of them trained on. It is
+// deterministic in seed, shared by the workload differential tests and
+// the engine equivalence tests (internal/equiv).
+func FuzzInput(seed uint64, n int) []byte {
+	g := newLCG(seed)
+	var out []byte
+	for len(out) < n {
+		switch g.intn(10) {
+		case 0:
+			out = append(out, byte(g.intn(256)))
+		case 1:
+			out = append(out, '\n')
+		case 2:
+			out = append(out, g.pick(" \t\t  "))
+		case 3:
+			out = append(out, g.pick(".,;:!?-#{}()[]/\\*\"'"))
+		case 4:
+			for i := 0; i < 1+g.intn(6); i++ {
+				out = append(out, byte('0'+g.intn(10)))
+			}
+		case 5:
+			out = append(out, g.pick("+-*/%<>=&|^~"))
+		default:
+			out = g.word(out, 9)
+		}
+	}
+	return out
+}
