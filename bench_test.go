@@ -203,6 +203,39 @@ func BenchmarkBuildReordered(b *testing.B) {
 	}
 }
 
+// BenchmarkBuild contrasts the monolithic pipeline with the staged one.
+// cold builds from source every iteration — frontend, detection,
+// training run, finalize. staged-warm builds through a warmed
+// StageCache, so each iteration pays only the finalize stage; the gap
+// between the two is the work the ablation grid and AutoBuild amortize
+// across Transform variants.
+func BenchmarkBuild(b *testing.B) {
+	w := wcSource(b)
+	train := w.Train()
+	opts := pipeline.Options{Switch: lower.SetI, Optimize: true}
+	b.Run("wc/cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pipeline.Build(w.Source, train, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("wc/staged-warm", func(b *testing.B) {
+		b.ReportAllocs()
+		cache := pipeline.NewStageCache(0)
+		if _, err := cache.Build(w.Source, train, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.Build(w.Source, train, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkInterp times raw execution of optimized binaries on both
 // engines: the flat-decoded fast engine (the measurement path) and the
 // block-walking reference interpreter it is differentially tested

@@ -205,6 +205,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 					shardStats.Builds, shardStats.DiskHits, shardStats.RemoteHits, shardStats.RemoteFallbacks)
 			}
 			fmt.Fprintf(stderr, ", %.2fs elapsed (-j %d)\n", time.Since(start).Seconds(), engine.Jobs())
+			if st.FrontendRuns+st.FrontendHits+st.TrainRuns+st.TrainHits > 0 {
+				fmt.Fprintf(stderr, "brbench: stages: %d frontend runs (%d reused), %d training runs (%d reused",
+					st.FrontendRuns, st.FrontendHits, st.TrainRuns, st.TrainHits)
+				if st.ProfileHits > 0 {
+					fmt.Fprintf(stderr, ", %d from store", st.ProfileHits)
+				}
+				fmt.Fprintf(stderr, ")\n")
+			}
 			if len(st.BuildSeconds) > 0 {
 				names := make([]string, 0, len(st.BuildSeconds))
 				total := 0.0

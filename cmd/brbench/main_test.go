@@ -329,7 +329,8 @@ func TestCacheGCFlag(t *testing.T) {
 	if _, _, code := capture(t, args...); code != 0 {
 		t.Fatal("cold run failed")
 	}
-	// Backdate every entry beyond the GC bound.
+	// Backdate every entry beyond the GC bound. The cold run stores one
+	// build record and one stage-2 profile record per heuristic set.
 	old := time.Now().Add(-48 * time.Hour)
 	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
@@ -344,7 +345,7 @@ func TestCacheGCFlag(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("gc run exited %d", code)
 	}
-	if !strings.Contains(stderr, "cache gc evicted 3 of 3 entries") {
+	if !strings.Contains(stderr, "cache gc evicted 6 of 6 entries") {
 		t.Errorf("gc summary missing or wrong: %q", stderr)
 	}
 	if !strings.Contains(stderr, "3 builds") {

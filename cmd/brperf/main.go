@@ -9,9 +9,14 @@
 //	go run ./cmd/brperf | diff BENCH_baseline.json -   # eyeball a change
 //
 // The same numbers are available as ordinary go benchmarks
-// (go test -bench 'Interp|Decode|SimWithPredictors|PredictorBattery');
+// (go test -bench 'Interp|Decode|Build|SimWithPredictors|PredictorBattery');
 // brperf exists so CI and scripts get machine-readable output without
 // parsing benchmark text.
+//
+// -compare diffs two such documents and fails on regressions, which is
+// how CI holds each PR against the committed baseline:
+//
+//	go run ./cmd/brperf -compare -threshold 50 BENCH_baseline.json new.json
 package main
 
 import (
@@ -20,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"testing"
 
 	"branchreorder/internal/interp"
@@ -47,11 +54,93 @@ type document struct {
 
 func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
+	doCompare := flag.Bool("compare", false, "compare two result files: brperf -compare [-threshold pct] OLD.json NEW.json")
+	threshold := flag.Float64("threshold", 25, "with -compare, fail if any benchmark slows down by more than this percentage")
 	flag.Parse()
-	if err := run(*out); err != nil {
+	var err error
+	if *doCompare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: brperf -compare [-threshold pct] OLD.json NEW.json")
+			os.Exit(2)
+		}
+		err = compare(flag.Arg(0), flag.Arg(1), *threshold)
+	} else {
+		err = run(*out)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "brperf:", err)
 		os.Exit(1)
 	}
+}
+
+// loadDocument reads one brperf JSON document.
+func loadDocument(path string) (*document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &doc, nil
+}
+
+// compare prints per-benchmark deltas between two result documents and
+// returns an error — a nonzero exit — if any shared benchmark's ns/op
+// grew by more than threshold percent. Benchmarks present in only one
+// document are reported but never count as regressions, so adding or
+// retiring a benchmark does not break CI.
+func compare(oldPath, newPath string, threshold float64) error {
+	oldDoc, err := loadDocument(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := loadDocument(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(oldDoc.Benchmarks)+len(newDoc.Benchmarks))
+	for name := range oldDoc.Benchmarks {
+		names = append(names, name)
+	}
+	for name := range newDoc.Benchmarks {
+		if _, ok := oldDoc.Benchmarks[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Printf("%-28s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	var regressed []string
+	for _, name := range names {
+		o, okOld := oldDoc.Benchmarks[name]
+		n, okNew := newDoc.Benchmarks[name]
+		switch {
+		case !okOld:
+			fmt.Printf("%-28s %14s %14.0f %9s\n", name, "-", n.NsPerOp, "(new)")
+		case !okNew:
+			fmt.Printf("%-28s %14.0f %14s %9s\n", name, o.NsPerOp, "-", "(gone)")
+		default:
+			delta := 0.0
+			if o.NsPerOp > 0 {
+				delta = 100 * (n.NsPerOp/o.NsPerOp - 1)
+			}
+			mark := ""
+			if delta > threshold {
+				mark = "  REGRESSION"
+				regressed = append(regressed, name)
+			}
+			fmt.Printf("%-28s %14.0f %14.0f %+8.1f%%%s\n", name, o.NsPerOp, n.NsPerOp, delta, mark)
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%: %s",
+			len(regressed), threshold, strings.Join(regressed, ", "))
+	}
+	return nil
 }
 
 // frontend compiles one workload the way the benchmarks measure it.
@@ -120,6 +209,35 @@ func run(out string) error {
 		return err
 	}
 	input := w.Test()
+
+	// The staged-pipeline headline: a cold build pays frontend +
+	// detection + training + finalize; a build through a warm StageCache
+	// pays only finalize. The ratio is what the ablation grid and
+	// AutoBuild save on every Transform variant after the first.
+	opts := pipeline.Options{Switch: lower.SetI, Optimize: true}
+	train := w.Train()
+	record("Build/wc/cold", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pipeline.Build(w.Source, train, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	record("Build/wc/staged-warm", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		cache := pipeline.NewStageCache(0)
+		if _, err := cache.Build(w.Source, train, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.Build(w.Source, train, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
 	record("Decode/wc", testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {

@@ -63,13 +63,32 @@ func Run(w workload.Workload, set lower.HeuristicSet) (*ProgramRun, error) {
 }
 
 // RunOpts builds and measures one workload under a full pipeline
-// configuration (ablation variants and the Section 10 extension included).
+// configuration (ablation variants and the Section 10 extension
+// included), using the monolithic pipeline.Build.
 func RunOpts(w workload.Workload, opts pipeline.Options) (*ProgramRun, error) {
-	set := opts.Switch
 	b, err := pipeline.Build(w.Source, w.Train(), opts)
 	if err != nil {
-		return nil, fmt.Errorf("%s (set %v): %w", w.Name, set, err)
+		return nil, fmt.Errorf("%s (set %v): %w", w.Name, opts.Switch, err)
 	}
+	return measureBuild(w, opts, b)
+}
+
+// RunStaged is RunOpts through a stage cache: the frontend and training
+// stages are shared with every other build of the same configuration,
+// and only the finalize stage runs per variant. Output is byte-identical
+// to RunOpts.
+func RunStaged(cache *pipeline.StageCache, w workload.Workload, opts pipeline.Options) (*ProgramRun, error) {
+	b, err := cache.Build(w.Source, w.Train(), opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s (set %v): %w", w.Name, opts.Switch, err)
+	}
+	return measureBuild(w, opts, b)
+}
+
+// measureBuild runs both executables of a finished build on the test
+// input and assembles the ProgramRun every table and figure consumes.
+func measureBuild(w workload.Workload, opts pipeline.Options, b *pipeline.BuildResult) (*ProgramRun, error) {
+	set := opts.Switch
 	test := w.Test()
 	base, err := sim.Run(b.Baseline, test, nil)
 	if err != nil {

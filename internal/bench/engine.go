@@ -48,6 +48,15 @@ type Engine struct {
 	disk     *store.Store     // optional second cache tier; nil means memory-only
 	remote   *storenet.Client // optional third tier: a fleet-shared brstored server
 
+	// stages memoizes the build pipeline's cacheable stages (frontend,
+	// detect+train) across jobs, so the ablation grid performs one
+	// frontend and one training run per (workload, set, detection
+	// config) instead of one per variant. When a disk or remote tier is
+	// attached, stage-2 products also persist as content-addressed
+	// profile records, letting warm caches skip training runs even for
+	// Transform combinations that miss the whole-build tier.
+	stages *pipeline.StageCache
+
 	mu    sync.Mutex // guards cache, stats, and progress writes
 	cache map[Key]*entry
 	stats EngineStats
@@ -69,13 +78,21 @@ func NewEngine(jobs int, progress io.Writer) *Engine {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{
+	e := &Engine{
 		jobs:     jobs,
 		progress: progress,
 		sem:      make(chan struct{}, jobs),
 		cache:    map[Key]*entry{},
+		stages:   pipeline.NewStageCache(0),
 	}
+	e.stages.Profiles = profileTier{e}
+	return e
 }
+
+// StageCache exposes the engine's build-stage cache so co-operating
+// experiments (e.g. pipeline.AutoBuildWith) can share its frontends and
+// training runs.
+func (e *Engine) StageCache() *pipeline.StageCache { return e.stages }
 
 // Jobs reports the worker-pool bound.
 func (e *Engine) Jobs() int { return e.jobs }
@@ -110,11 +127,17 @@ func (e *Engine) Seed(r *ProgramRun) {
 	e.cache[key] = &entry{done: done, run: r}
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters, the per-stage
+// counters of the staged build pipeline included.
 func (e *Engine) Stats() EngineStats {
+	ss := e.stages.Stats()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	s := e.stats
+	s.FrontendRuns = ss.FrontendRuns
+	s.FrontendHits = ss.FrontendHits
+	s.TrainRuns = ss.TrainRuns
+	s.TrainHits = ss.TrainHits
 	if e.stats.BuildSeconds != nil {
 		s.BuildSeconds = make(map[string]float64, len(e.stats.BuildSeconds))
 		for w, sec := range e.stats.BuildSeconds {
@@ -246,7 +269,7 @@ func (e *Engine) Get(ctx context.Context, w workload.Workload, opts pipeline.Opt
 	e.mu.Unlock()
 	e.logf("building %-8s heuristic set %v%s\n", w.Name, opts.Switch, optsSuffix(opts))
 	start := time.Now()
-	ent.run, ent.err = RunOpts(w, opts)
+	ent.run, ent.err = RunStaged(e.stages, w, opts)
 	if ent.err == nil {
 		elapsed := time.Since(start).Seconds()
 		e.mu.Lock()
@@ -277,6 +300,70 @@ func (e *Engine) Get(ctx context.Context, w workload.Workload, opts pipeline.Opt
 		}
 	}
 	return ent.run, ent.err
+}
+
+// profileTier adapts the engine's disk and remote tiers into the stage
+// cache's persistent store for stage-2 training products. Remote hits
+// are written through to the disk tier, and fresh products go to both —
+// the same discipline as whole-build records. All remote operations are
+// best-effort: a failure just means the training run happens here.
+type profileTier struct{ e *Engine }
+
+func (p profileTier) GetProfile(src string, train []byte, fo pipeline.FrontendOptions, d pipeline.DetectOptions) (*pipeline.TrainProduct, bool) {
+	e := p.e
+	if e.disk == nil && e.remote == nil {
+		return nil, false
+	}
+	fp := store.ProfileFingerprint(src, train, fo, d)
+	if e.disk != nil {
+		if rec, st := e.disk.GetProfile(fp); st == store.Hit {
+			e.mu.Lock()
+			e.stats.ProfileHits++
+			e.mu.Unlock()
+			return rec.Train(), true
+		}
+	}
+	if e.remote != nil {
+		if rec, out := e.remote.GetProfile(context.Background(), fp); out == storenet.Hit {
+			e.mu.Lock()
+			e.stats.ProfileHits++
+			e.mu.Unlock()
+			if e.disk != nil {
+				if perr := e.disk.PutProfile(fp, rec); perr != nil {
+					e.logf("profile store write failed: %v\n", perr)
+				}
+			}
+			return rec.Train(), true
+		}
+	}
+	return nil, false
+}
+
+func (p profileTier) PutProfile(src string, train []byte, fo pipeline.FrontendOptions, d pipeline.DetectOptions, tp *pipeline.TrainProduct) {
+	e := p.e
+	if e.disk == nil && e.remote == nil {
+		return
+	}
+	fp := store.ProfileFingerprint(src, train, fo, d)
+	rec := store.FromTrain(tp)
+	stored := false
+	if e.disk != nil {
+		if perr := e.disk.PutProfile(fp, rec); perr != nil {
+			e.logf("profile store write failed: %v\n", perr)
+		} else {
+			stored = true
+		}
+	}
+	if e.remote != nil {
+		if perr := e.remote.PutProfile(context.Background(), fp, rec); perr == nil {
+			stored = true
+		}
+	}
+	if stored {
+		e.mu.Lock()
+		e.stats.ProfilePuts++
+		e.mu.Unlock()
+	}
 }
 
 // optsSuffix labels non-default configurations in progress output.

@@ -18,17 +18,33 @@ import (
 // invalidation story; a new Options field changes the JSON encoding and
 // so invalidates automatically.
 func Fingerprint(source string, train, test []byte, opts pipeline.Options) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "brbench store schema %d\n", SchemaVersion)
-	section(h, "source", []byte(source))
-	section(h, "train", train)
-	section(h, "test", test)
 	ob, err := json.Marshal(opts)
 	if err != nil {
 		// Options is a flat struct of ints and bools; Marshal cannot fail.
 		panic(err)
 	}
-	section(h, "options", ob)
+	return fingerprintSections(
+		section2{"source", []byte(source)},
+		section2{"train", train},
+		section2{"test", test},
+		section2{"options", ob},
+	)
+}
+
+// section2 is one named, length-prefixed fingerprint input.
+type section2 struct {
+	name string
+	data []byte
+}
+
+// fingerprintSections hashes the schema version plus every section, each
+// length-prefixed so concatenations cannot collide.
+func fingerprintSections(secs ...section2) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "brbench store schema %d\n", SchemaVersion)
+	for _, s := range secs {
+		section(h, s.name, s.data)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -89,30 +89,36 @@ func (r *Record) Validate() error {
 	return nil
 }
 
+// Entry kinds. Build records predate the kind field, so theirs encodes
+// as the absent zero value and old entries decode unchanged.
+const (
+	KindBuild   = ""        // a whole build+measure Record
+	KindProfile = "profile" // a stage-2 ProfileRecord
+)
+
 // envelope is the on-disk framing of one store entry. Record is kept as
 // raw JSON so the checksum covers the exact serialized payload.
 type envelope struct {
 	Schema      int             `json:"schema"`
+	Kind        string          `json:"kind,omitempty"`
 	Fingerprint string          `json:"fingerprint"`
 	Sum         string          `json:"sum"`
 	Record      json.RawMessage `json:"record"`
 }
 
-// Encode serializes rec as the store entry keyed by fp.
-func Encode(fp string, rec *Record) ([]byte, error) {
-	if err := rec.Validate(); err != nil {
-		return nil, err
-	}
-	payload, err := json.Marshal(rec)
+// encodeEnvelope frames an already-validated payload as a store entry.
+func encodeEnvelope(kind, fp string, payload interface{}) ([]byte, error) {
+	body, err := json.Marshal(payload)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	sum := sha256.Sum256(payload)
+	sum := sha256.Sum256(body)
 	data, err := json.MarshalIndent(envelope{
 		Schema:      SchemaVersion,
+		Kind:        kind,
 		Fingerprint: fp,
 		Sum:         hex.EncodeToString(sum[:]),
-		Record:      payload,
+		Record:      body,
 	}, "", "\t")
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -120,17 +126,19 @@ func Encode(fp string, rec *Record) ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
-// Decode parses one store entry. fp, when non-empty, must match the
-// fingerprint recorded inside the entry — a file renamed to the wrong
-// key is not a usable result. Every malformed input yields an error,
-// never a panic; callers treat any error as a cache miss.
-func Decode(data []byte, fp string) (*Record, error) {
+// decodeEnvelope verifies one store entry's framing — schema, kind,
+// fingerprint, checksum — and returns the raw payload. Every malformed
+// input yields an error, never a panic.
+func decodeEnvelope(data []byte, kind, fp string) (json.RawMessage, error) {
 	var env envelope
 	if err := json.Unmarshal(data, &env); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	if env.Schema != SchemaVersion {
 		return nil, fmt.Errorf("store: entry schema %d, want %d", env.Schema, SchemaVersion)
+	}
+	if env.Kind != kind {
+		return nil, fmt.Errorf("store: entry kind %q, want %q", env.Kind, kind)
 	}
 	if fp != "" && env.Fingerprint != fp {
 		return nil, errors.New("store: entry fingerprint does not match its key")
@@ -145,8 +153,39 @@ func Decode(data []byte, fp string) (*Record, error) {
 	if hex.EncodeToString(sum[:]) != env.Sum {
 		return nil, errors.New("store: payload checksum mismatch")
 	}
+	return env.Record, nil
+}
+
+// EntryKind reports which kind of entry data frames, without validating
+// its payload. Used by the network store's upload gate to pick the right
+// validator.
+func EntryKind(data []byte) (string, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	return env.Kind, nil
+}
+
+// Encode serializes rec as the store entry keyed by fp.
+func Encode(fp string, rec *Record) ([]byte, error) {
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	return encodeEnvelope(KindBuild, fp, rec)
+}
+
+// Decode parses one store entry. fp, when non-empty, must match the
+// fingerprint recorded inside the entry — a file renamed to the wrong
+// key is not a usable result. Every malformed input yields an error,
+// never a panic; callers treat any error as a cache miss.
+func Decode(data []byte, fp string) (*Record, error) {
+	payload, err := decodeEnvelope(data, KindBuild, fp)
+	if err != nil {
+		return nil, err
+	}
 	var rec Record
-	if err := json.Unmarshal(env.Record, &rec); err != nil {
+	if err := json.Unmarshal(payload, &rec); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	if err := rec.Validate(); err != nil {

@@ -25,6 +25,18 @@ type TierStats struct {
 	RemoteFallbacks int `json:"remoteFallbacks,omitempty"` // remote failures absorbed by the local tiers
 	RemotePuts      int `json:"remotePuts,omitempty"`      // fresh results uploaded to the network store
 
+	// Staged-build counters: the engine composes every fresh build from
+	// cached stages (frontend → detect+train → finalize), so these count
+	// how often the expensive stages actually ran versus were reused.
+	// All stay zero for runs served entirely from the memo/disk/remote
+	// tiers.
+	FrontendRuns int `json:"frontendRuns,omitempty"` // stage-1 frontends actually compiled
+	FrontendHits int `json:"frontendHits,omitempty"` // stage-1 lookups served from the stage cache
+	TrainRuns    int `json:"trainRuns,omitempty"`    // stage-2 training runs actually executed
+	TrainHits    int `json:"trainHits,omitempty"`    // stage-2 lookups served from the stage cache
+	ProfileHits  int `json:"profileHits,omitempty"`  // training runs avoided by a stored profile record (disk or fleet)
+	ProfilePuts  int `json:"profilePuts,omitempty"`  // fresh profile records persisted for later runs
+
 	// BuildSeconds is the wall-clock cost of the jobs behind Builds,
 	// keyed by workload and summed over every configuration built for
 	// it. Cache hits add nothing, so a BENCH trajectory over exports
@@ -44,6 +56,12 @@ func (s *TierStats) Add(o TierStats) {
 	s.RemoteMisses += o.RemoteMisses
 	s.RemoteFallbacks += o.RemoteFallbacks
 	s.RemotePuts += o.RemotePuts
+	s.FrontendRuns += o.FrontendRuns
+	s.FrontendHits += o.FrontendHits
+	s.TrainRuns += o.TrainRuns
+	s.TrainHits += o.TrainHits
+	s.ProfileHits += o.ProfileHits
+	s.ProfilePuts += o.ProfilePuts
 	for w, sec := range o.BuildSeconds {
 		if s.BuildSeconds == nil {
 			s.BuildSeconds = make(map[string]float64, len(o.BuildSeconds))

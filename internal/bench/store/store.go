@@ -85,6 +85,19 @@ func (s *Store) path(fp string) string {
 // Get loads the entry for fp. A Hit returns the decoded record; Miss and
 // Invalid return nil, and differ only in whether a file was present.
 func (s *Store) Get(fp string) (*Record, Status) {
+	data, st := s.read(fp)
+	if st != Hit {
+		return nil, st
+	}
+	rec, err := Decode(data, fp)
+	if err != nil {
+		return nil, Invalid
+	}
+	return rec, Hit
+}
+
+// read loads the raw bytes of the entry for fp.
+func (s *Store) read(fp string) ([]byte, Status) {
 	if len(fp) < 2 {
 		return nil, Miss
 	}
@@ -95,11 +108,7 @@ func (s *Store) Get(fp string) (*Record, Status) {
 		}
 		return nil, Invalid
 	}
-	rec, err := Decode(data, fp)
-	if err != nil {
-		return nil, Invalid
-	}
-	return rec, Hit
+	return data, Hit
 }
 
 // Put writes the entry for fp atomically: the encoded record goes to a
@@ -107,12 +116,17 @@ func (s *Store) Get(fp string) (*Record, Status) {
 // final name, so a concurrent reader sees either nothing or a complete
 // entry, and a crash leaves at worst an orphaned temp file.
 func (s *Store) Put(fp string, rec *Record) error {
-	if len(fp) < 2 {
-		return fmt.Errorf("store: unusable fingerprint %q", fp)
-	}
 	data, err := Encode(fp, rec)
 	if err != nil {
 		return err
+	}
+	return s.write(fp, data)
+}
+
+// write lands already-encoded entry bytes for fp with Put's atomicity.
+func (s *Store) write(fp string, data []byte) error {
+	if len(fp) < 2 {
+		return fmt.Errorf("store: unusable fingerprint %q", fp)
 	}
 	dst := s.path(fp)
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {

@@ -89,10 +89,11 @@ type Client struct {
 }
 
 // flight is one in-progress fetch that concurrent Gets of the same
-// fingerprint share.
+// fingerprint share. The raw verified bytes are shared; each caller
+// decodes its expected entry kind.
 type flight struct {
 	done chan struct{}
-	rec  *store.Record
+	data []byte
 	out  Outcome
 }
 
@@ -137,10 +138,42 @@ func NewClient(baseURL string, cfg ClientConfig) (*Client, error) {
 // BaseURL reports the server the client talks to.
 func (c *Client) BaseURL() string { return c.base }
 
-// Get fetches the entry for fp. Concurrent Gets of the same fingerprint
-// share one request; every remote failure degrades to Fallback, never an
-// error — the caller's local tiers decide what happens next.
+// Get fetches the build entry for fp. Concurrent Gets of the same
+// fingerprint share one request; every remote failure degrades to
+// Fallback, never an error — the caller's local tiers decide what
+// happens next.
 func (c *Client) Get(ctx context.Context, fp string) (*store.Record, Outcome) {
+	data, out := c.getRaw(ctx, fp)
+	if out != Hit {
+		return nil, out
+	}
+	rec, err := store.Decode(data, fp)
+	if err != nil {
+		// The server vouched for this entry and it still failed
+		// validation here: same corrupt-entry-as-miss contract as the
+		// disk tier.
+		return nil, Miss
+	}
+	return rec, Hit
+}
+
+// GetProfile fetches the stage-2 profile entry for fp with Get's
+// sharing, retry, and fallback behaviour.
+func (c *Client) GetProfile(ctx context.Context, fp string) (*store.ProfileRecord, Outcome) {
+	data, out := c.getRaw(ctx, fp)
+	if out != Hit {
+		return nil, out
+	}
+	rec, err := store.DecodeProfile(data, fp)
+	if err != nil {
+		return nil, Miss
+	}
+	return rec, Hit
+}
+
+// getRaw fetches the raw entry bytes for fp, deduplicating concurrent
+// requests for the same fingerprint.
+func (c *Client) getRaw(ctx context.Context, fp string) ([]byte, Outcome) {
 	c.mu.Lock()
 	if c.tripped {
 		c.mu.Unlock()
@@ -150,7 +183,7 @@ func (c *Client) Get(ctx context.Context, fp string) (*store.Record, Outcome) {
 		c.mu.Unlock()
 		select {
 		case <-f.done:
-			return f.rec, f.out
+			return f.data, f.out
 		case <-ctx.Done():
 			return nil, Fallback
 		}
@@ -159,15 +192,15 @@ func (c *Client) Get(ctx context.Context, fp string) (*store.Record, Outcome) {
 	c.inflight[fp] = f
 	c.mu.Unlock()
 
-	f.rec, f.out = c.fetch(ctx, fp)
+	f.data, f.out = c.fetch(ctx, fp)
 	c.mu.Lock()
 	delete(c.inflight, fp)
 	c.mu.Unlock()
 	close(f.done)
-	return f.rec, f.out
+	return f.data, f.out
 }
 
-func (c *Client) fetch(ctx context.Context, fp string) (*store.Record, Outcome) {
+func (c *Client) fetch(ctx context.Context, fp string) ([]byte, Outcome) {
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {
 		if attempt > 0 && !c.sleep(ctx, attempt) {
@@ -194,16 +227,8 @@ func (c *Client) fetch(ctx context.Context, fp string) (*store.Record, Outcome) 
 				lastErr = rerr
 				continue
 			}
-			rec, derr := store.Decode(data, fp)
-			if derr != nil {
-				// The server vouched for this entry and it still failed
-				// validation here: same corrupt-entry-as-miss contract as
-				// the disk tier.
-				c.noteSuccess()
-				return nil, Miss
-			}
 			c.noteSuccess()
-			return rec, Hit
+			return data, Hit
 		case resp.StatusCode == http.StatusNotFound:
 			drain(resp)
 			c.noteSuccess()
@@ -224,18 +249,33 @@ func (c *Client) fetch(ctx context.Context, fp string) (*store.Record, Outcome) 
 	return nil, Fallback
 }
 
-// Put uploads the entry for fp, best-effort: a non-nil error means the
-// entry did not land on the server, never that the caller's run failed.
+// Put uploads the build entry for fp, best-effort: a non-nil error means
+// the entry did not land on the server, never that the caller's run
+// failed.
 func (c *Client) Put(ctx context.Context, fp string, rec *store.Record) error {
+	data, err := store.Encode(fp, rec)
+	if err != nil {
+		return err
+	}
+	return c.put(ctx, fp, data)
+}
+
+// PutProfile uploads the stage-2 profile entry for fp with Put's
+// best-effort contract.
+func (c *Client) PutProfile(ctx context.Context, fp string, rec *store.ProfileRecord) error {
+	data, err := store.EncodeProfile(fp, rec)
+	if err != nil {
+		return err
+	}
+	return c.put(ctx, fp, data)
+}
+
+func (c *Client) put(ctx context.Context, fp string, data []byte) error {
 	c.mu.Lock()
 	tripped := c.tripped
 	c.mu.Unlock()
 	if tripped {
 		return ErrUnavailable
-	}
-	data, err := store.Encode(fp, rec)
-	if err != nil {
-		return err
 	}
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {

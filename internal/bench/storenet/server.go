@@ -80,7 +80,9 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "malformed fingerprint", http.StatusBadRequest)
 		return
 	}
-	rec, st := s.st.Get(fp)
+	// GetRaw verifies and serves entries of either kind (build results
+	// and stage-2 profile records) from their canonical stored bytes.
+	data, st := s.st.GetRaw(fp)
 	switch st {
 	case store.Miss:
 		s.misses.Add(1)
@@ -91,11 +93,6 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		// never an error. The counter keeps the rot visible.
 		s.invalid.Add(1)
 		http.NotFound(w, r)
-		return
-	}
-	data, err := store.Encode(fp, rec)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	s.hits.Add(1)
@@ -141,17 +138,42 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "body shorter than Content-Length", http.StatusBadRequest)
 		return
 	}
-	// Decode re-runs the full entry validation — schema, checksum,
+	// Decoding re-runs the full entry validation — schema, checksum,
 	// record shape, and that the payload's fingerprint matches the key
 	// it would be stored under — so nothing unverifiable reaches disk.
-	rec, err := store.Decode(body, fp)
+	// The pool holds two entry kinds: whole build results and stage-2
+	// profile records; each gets its kind's validator.
+	kind, err := store.EntryKind(body)
 	if err != nil {
 		s.putRejects.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if err := s.st.Put(fp, rec); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	var putErr error
+	switch kind {
+	case store.KindBuild:
+		rec, err := store.Decode(body, fp)
+		if err != nil {
+			s.putRejects.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		putErr = s.st.Put(fp, rec)
+	case store.KindProfile:
+		rec, err := store.DecodeProfile(body, fp)
+		if err != nil {
+			s.putRejects.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		putErr = s.st.PutProfile(fp, rec)
+	default:
+		s.putRejects.Add(1)
+		http.Error(w, fmt.Sprintf("unknown entry kind %q", kind), http.StatusBadRequest)
+		return
+	}
+	if putErr != nil {
+		http.Error(w, putErr.Error(), http.StatusInternalServerError)
 		return
 	}
 	s.puts.Add(1)

@@ -76,7 +76,14 @@ func CloneFunc(f *Func) *Func {
 			}
 		}
 	}
+	// Preserve the original's block-ID allocator, not just max+1:
+	// deleted blocks can leave nextID past the highest live ID, and a
+	// clone must allocate the same fresh IDs the original would so
+	// passes running on either produce identical programs.
 	nf.SyncNextID()
+	if f.nextID > nf.nextID {
+		nf.nextID = f.nextID
+	}
 	return nf
 }
 

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"sync"
 
 	"branchreorder/internal/interp"
 	"branchreorder/internal/lower"
@@ -27,30 +28,67 @@ type AutoResult struct {
 	TrainInsts map[lower.HeuristicSet]uint64
 }
 
-// AutoBuild picks the switch translation method by profile.
+// AutoBuild picks the switch translation method by profile. The three
+// candidates build and evaluate concurrently on a private stage cache;
+// use AutoBuildWith to share stages with other builds (an engine that
+// already compiled some sets reuses their frontends and training runs).
 func AutoBuild(src string, train []byte, base Options) (*AutoResult, error) {
+	return AutoBuildWith(nil, src, train, base)
+}
+
+// AutoBuildWith is AutoBuild on an explicit stage cache (nil means a
+// fresh private one). Candidates run concurrently; the winner is chosen
+// deterministically — lowest training cost, ties broken by set order —
+// so the result never depends on scheduling.
+func AutoBuildWith(cache *StageCache, src string, train []byte, base Options) (*AutoResult, error) {
+	if cache == nil {
+		cache = NewStageCache(0)
+	}
+	sets := []lower.HeuristicSet{lower.SetI, lower.SetII, lower.SetIII}
+	type candidate struct {
+		build *BuildResult
+		insts uint64
+		err   error
+	}
+	cands := make([]candidate, len(sets))
+	var wg sync.WaitGroup
+	for i, set := range sets {
+		wg.Add(1)
+		go func(i int, set lower.HeuristicSet) {
+			defer wg.Done()
+			o := base
+			o.Switch = set
+			b, err := cache.Build(src, train, o)
+			if err != nil {
+				cands[i].err = fmt.Errorf("auto build (set %v): %w", set, err)
+				return
+			}
+			code, err := interp.Decode(b.Reordered)
+			if err != nil {
+				cands[i].err = fmt.Errorf("auto evaluation (set %v): %w", set, err)
+				return
+			}
+			m := &interp.FastMachine{Code: code, Input: train}
+			if _, err := m.Run(); err != nil {
+				cands[i].err = fmt.Errorf("auto evaluation (set %v): %w", set, err)
+				return
+			}
+			cands[i] = candidate{build: b, insts: m.Stats.Insts}
+		}(i, set)
+	}
+	wg.Wait()
+
 	res := &AutoResult{TrainInsts: map[lower.HeuristicSet]uint64{}}
 	var bestCost uint64
-	for _, set := range []lower.HeuristicSet{lower.SetI, lower.SetII, lower.SetIII} {
-		o := base
-		o.Switch = set
-		b, err := Build(src, train, o)
-		if err != nil {
-			return nil, fmt.Errorf("auto build (set %v): %w", set, err)
+	for i, set := range sets {
+		if cands[i].err != nil {
+			return nil, cands[i].err
 		}
-		code, err := interp.Decode(b.Reordered)
-		if err != nil {
-			return nil, fmt.Errorf("auto evaluation (set %v): %w", set, err)
-		}
-		m := &interp.FastMachine{Code: code, Input: train}
-		if _, err := m.Run(); err != nil {
-			return nil, fmt.Errorf("auto evaluation (set %v): %w", set, err)
-		}
-		res.TrainInsts[set] = m.Stats.Insts
-		if res.Chosen == nil || m.Stats.Insts < bestCost {
-			res.Chosen = b
+		res.TrainInsts[set] = cands[i].insts
+		if res.Chosen == nil || cands[i].insts < bestCost {
+			res.Chosen = cands[i].build
 			res.Set = set
-			bestCost = m.Stats.Insts
+			bestCost = cands[i].insts
 		}
 	}
 	return res, nil

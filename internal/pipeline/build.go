@@ -79,16 +79,14 @@ func Build(src string, train []byte, o Options) (*BuildResult, error) {
 	if err := prog.Verify(); err != nil {
 		return nil, fmt.Errorf("verify after instrumentation: %w", err)
 	}
-	rangeHook, orHook := out.Profile.Hook(), out.OrProfile.Hook()
 	code, err := interp.Decode(prog)
 	if err != nil {
 		return nil, fmt.Errorf("training run: %w", err)
 	}
+	// Most builds have no common-successor sequences; profHook collapses
+	// the merged two-closure dispatch to a single hook (or none) then.
 	m := &interp.FastMachine{Code: code, Input: train,
-		OnProf: func(seqID, sub int, v int64) {
-			rangeHook(seqID, sub, v)
-			orHook(seqID, sub, v)
-		}}
+		OnProf: profHook(out.Profile, out.OrProfile)}
 	if _, err := m.Run(); err != nil {
 		return nil, fmt.Errorf("training run: %w", err)
 	}

@@ -68,16 +68,12 @@ func consumedBlocks(seqs []*core.Sequence) map[*ir.Block]bool {
 func (ins *Instrumented) Train(input []byte) (*core.Profile, *core.OrProfile, error) {
 	prof := core.NewProfile(ins.Sequences)
 	orProf := core.NewOrProfile(ins.OrSequences)
-	rangeHook, orHook := prof.Hook(), orProf.Hook()
 	code, err := interp.Decode(ins.Prog)
 	if err != nil {
 		return nil, nil, fmt.Errorf("training run: %w", err)
 	}
 	m := &interp.FastMachine{Code: code, Input: input,
-		OnProf: func(seqID, sub int, v int64) {
-			rangeHook(seqID, sub, v)
-			orHook(seqID, sub, v)
-		}}
+		OnProf: profHook(prof, orProf)}
 	if _, err := m.Run(); err != nil {
 		return nil, nil, fmt.Errorf("training run: %w", err)
 	}

@@ -70,11 +70,12 @@ func Run(prog *ir.Program, input []byte, preds []*predictor.Bimodal) (*Measureme
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
+	cfgs := machine.All()
 	out := &Measurement{
 		Stats:  m.Stats,
 		Output: m.Output.String(),
 		Ret:    ret,
-		Cycles: map[string]uint64{},
+		Cycles: make(map[string]uint64, len(cfgs)),
 	}
 	if bank != nil {
 		out.Mispredicts = bank.Mispredicts()
@@ -84,7 +85,7 @@ func Run(prog *ir.Program, input []byte, preds []*predictor.Bimodal) (*Measureme
 			out.Mispredicts[p.Name()] = p.Mispredicts
 		}
 	}
-	for _, cfg := range machine.All() {
+	for _, cfg := range cfgs {
 		out.Cycles[cfg.Name] = Cycles(cfg, m.Stats, out.Mispredicts)
 	}
 	return out, nil
