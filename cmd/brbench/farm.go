@@ -1,0 +1,311 @@
+// farm.go is brbench's side of the build farm: the three roles that turn
+// a brstored -queue coordinator and any number of machines into one
+// logical run.
+//
+//	brbench -enqueue URL   submit the job matrix and exit
+//	brbench -worker URL    loop lease → build → complete until drained
+//	brbench -collect URL   wait for the drain, then render from the store
+//
+// Workers build through the engine's usual tiers (memo → disk → remote),
+// so a farm is the staged-build pipeline plus a lease protocol — no
+// second build path. Results travel through the coordinator's result
+// store, never through the queue, which is why -collect renders output
+// byte-identical to a single-process run.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"branchreorder/internal/bench"
+	"branchreorder/internal/bench/store"
+	"branchreorder/internal/bench/storenet"
+	"branchreorder/internal/bench/storenet/queue"
+	"branchreorder/internal/workload"
+)
+
+// jobSpecs converts the engine's job matrix into the queue's wire
+// vocabulary.
+func jobSpecs(jobs []bench.Job) []queue.JobSpec {
+	specs := make([]queue.JobSpec, len(jobs))
+	for i, j := range jobs {
+		specs[i] = queue.JobSpec{Workload: j.Workload.Name, Opts: j.Opts}
+	}
+	return specs
+}
+
+// defaultWorkerID identifies this process to the coordinator when
+// -worker-id is not given: hostname-pid is unique per farm in practice
+// and readable in /metrics.
+func defaultWorkerID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+// runEnqueue submits the job matrix to the coordinator. Re-running it is
+// an idempotent resume: jobs already queued, running, or done are
+// reported as known, never duplicated.
+func runEnqueue(url string, timeout time.Duration, jobs []bench.Job, stdout, stderr io.Writer) int {
+	client, err := storenet.NewClient(url, storenet.ClientConfig{Timeout: timeout})
+	if err != nil {
+		fmt.Fprintln(stderr, "brbench:", err)
+		return 1
+	}
+	resp, err := client.EnqueueJobs(context.Background(), jobSpecs(jobs))
+	if err != nil {
+		fmt.Fprintln(stderr, "brbench: enqueue:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "brbench: enqueued %d jobs (%d already known), queue depth %d\n",
+		resp.Accepted, resp.Known, resp.Depth)
+	return 0
+}
+
+// workerConfig is everything runWorker needs beyond the engine.
+type workerConfig struct {
+	id       string        // identity reported on every lease and complete
+	poll     time.Duration // idle wait between leases when nothing is pending
+	dieAfter int           // fault injection: exit without completing after this many leases
+	quiet    bool
+}
+
+// runWorker is the farm's work loop: lease one job, build it through the
+// engine's cache tiers, make sure the result is in the coordinator's
+// store, complete the lease; repeat until the queue reports drained. A
+// heartbeat goroutine keeps each lease alive for as long as the build
+// takes — and cancels the build the moment the coordinator says the
+// lease is lost, so a worker that stalled past its TTL stops burning
+// cycles on a job someone else now owns.
+func runWorker(ctx context.Context, engine *bench.Engine, client *storenet.Client, cfg workerConfig, stderr io.Writer) int {
+	logf := func(format string, args ...interface{}) {
+		if !cfg.quiet {
+			fmt.Fprintf(stderr, format, args...)
+		}
+	}
+	var completed, lost, failed, leases int
+	errStreak := 0
+	for {
+		l, drained, err := client.LeaseJob(ctx, cfg.id)
+		if err != nil {
+			if ctx.Err() != nil {
+				return 1
+			}
+			errStreak++
+			if errStreak >= 60 {
+				fmt.Fprintf(stderr, "brbench: worker %s: coordinator unreachable (%v), giving up\n", cfg.id, err)
+				return 1
+			}
+			time.Sleep(cfg.poll)
+			continue
+		}
+		errStreak = 0
+		if l == nil {
+			if drained {
+				break
+			}
+			time.Sleep(cfg.poll)
+			continue
+		}
+		leases++
+		if cfg.dieAfter > 0 && leases >= cfg.dieAfter {
+			// Fault injection: vanish while holding the lease — no
+			// complete, no heartbeat. The coordinator must re-offer the
+			// job after one TTL; the tests and CI assert it does.
+			fmt.Fprintf(stderr, "brbench: worker %s: dying after lease %d (fault injection)\n", cfg.id, leases)
+			return 0
+		}
+		w, ok := workload.Named(l.Spec.Workload)
+		if !ok {
+			// The coordinator validated names at enqueue, so this means
+			// version skew between worker and matrix. Fail the attempt so
+			// the job can land on a worker that knows it.
+			client.CompleteJob(ctx, l.ID, l.Token, cfg.id,
+				fmt.Sprintf("unknown workload %q", l.Spec.Workload))
+			failed++
+			continue
+		}
+		switch buildOne(ctx, engine, client, cfg.id, l, w, logf) {
+		case buildDone:
+			completed++
+		case buildLost:
+			lost++
+		case buildFailed:
+			failed++
+		}
+	}
+	logf("brbench: worker %s: %d completed, %d failed, %d lost leases; queue drained\n",
+		cfg.id, completed, failed, lost)
+	if ctx.Err() != nil {
+		return 1
+	}
+	return 0
+}
+
+type buildOutcome int
+
+const (
+	buildDone buildOutcome = iota
+	buildLost
+	buildFailed
+)
+
+// buildOne runs a single leased job: heartbeat in the background, build
+// through the engine, upload the result, complete the lease.
+func buildOne(ctx context.Context, engine *bench.Engine, client *storenet.Client, workerID string,
+	l *queue.Lease, w workload.Workload, logf func(string, ...interface{})) buildOutcome {
+
+	// Heartbeat at a third of the TTL: two beats can be lost before the
+	// lease expires. If the coordinator answers that the lease is gone,
+	// cancel the build — its owner is someone else now.
+	interval := l.TTL / 3
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	buildCtx, cancelBuild := context.WithCancel(ctx)
+	defer cancelBuild()
+	var leaseLost atomic.Bool
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				err := client.HeartbeatJob(ctx, l.ID, l.Token)
+				if errors.Is(err, queue.ErrLeaseConflict) || errors.Is(err, queue.ErrGone) {
+					leaseLost.Store(true)
+					cancelBuild()
+					return
+				}
+				// Transient errors: keep beating; the lease survives two
+				// missed windows.
+			}
+		}
+	}()
+
+	run, buildErr := engine.Get(buildCtx, w, l.Spec.Opts)
+	close(stop)
+	wg.Wait()
+	if leaseLost.Load() {
+		logf("brbench: worker %s: lost lease on %s, dropping the build\n", workerID, w.Name)
+		return buildLost
+	}
+	if buildErr != nil {
+		if ctx.Err() != nil {
+			return buildLost
+		}
+		client.CompleteJob(ctx, l.ID, l.Token, workerID, buildErr.Error())
+		return buildFailed
+	}
+
+	// The engine uploads fresh builds on its own; a memo or disk hit
+	// skipped that. Re-putting is idempotent (content-addressed), so
+	// always make sure the result is in the coordinator's store before
+	// declaring the job done — complete-without-result would leave
+	// -collect rebuilding what we claim to have built.
+	fp := store.Fingerprint(w.Source, w.Train(), w.Test(), l.Spec.Opts)
+	if err := client.Put(ctx, fp, run.Record()); err != nil {
+		client.CompleteJob(ctx, l.ID, l.Token, workerID, "result upload failed: "+err.Error())
+		return buildFailed
+	}
+	if err := client.CompleteJob(ctx, l.ID, l.Token, workerID, ""); err != nil {
+		// A conflict or gone here means the lease expired during upload
+		// and someone else finished the job; the build itself is in the
+		// store either way.
+		logf("brbench: worker %s: complete %s: %v\n", workerID, w.Name, err)
+		return buildLost
+	}
+	return buildDone
+}
+
+// collectFarm waits for every enqueued job to reach a terminal state,
+// then seeds the engine's memo with the farm's results in one batched
+// fetch. Rendering afterwards hits the memo for everything the farm
+// built, so the output is byte-identical to a single-process run; any
+// result missing from the store (evicted, or a worker that lied) is
+// simply rebuilt locally.
+func collectFarm(ctx context.Context, engine *bench.Engine, client *storenet.Client, jobs []bench.Job,
+	timeout, poll time.Duration, quiet bool, stderr io.Writer) error {
+
+	deadline := time.Now().Add(timeout)
+	var counts queue.Counts
+	for {
+		var err error
+		counts, err = client.QueueStatus(ctx)
+		if err != nil {
+			return fmt.Errorf("farm status: %w", err)
+		}
+		if counts.Drained {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("farm did not drain within %v: %d pending, %d leased of %d jobs",
+				timeout, counts.Pending, counts.Leased, counts.Enqueued)
+		}
+		time.Sleep(poll)
+	}
+	if counts.Failed > 0 {
+		msg := fmt.Sprintf("farm finished with %d failed jobs:", counts.Failed)
+		for _, f := range counts.Failures {
+			msg += fmt.Sprintf("\n  %s (%s): %s", f.ID, f.Workload, f.Error)
+		}
+		return errors.New(msg)
+	}
+
+	byFP := make(map[string]bench.Job, len(jobs))
+	fps := make([]string, 0, len(jobs))
+	for _, j := range jobs {
+		fp := store.Fingerprint(j.Workload.Source, j.Workload.Train(), j.Workload.Test(), j.Opts)
+		if _, ok := byFP[fp]; ok {
+			continue
+		}
+		byFP[fp] = j
+		fps = append(fps, fp)
+	}
+	seeded := 0
+	for start := 0; start < len(fps); start += storenet.MaxBatchEntries {
+		end := start + storenet.MaxBatchEntries
+		if end > len(fps) {
+			end = len(fps)
+		}
+		got, err := client.GetBatch(ctx, fps[start:end])
+		if err != nil {
+			// The queue drained, so the results exist; a batch failure
+			// only costs the prefetch — per-job remote gets (and local
+			// rebuilds) still happen below.
+			fmt.Fprintf(stderr, "brbench: batch fetch failed (%v); falling back to per-job fetches\n", err)
+			break
+		}
+		for fp, data := range got {
+			rec, err := store.Decode(data, fp)
+			if err != nil {
+				continue // corrupt-entry-as-miss: rebuild locally
+			}
+			run, err := bench.RunFromRecord(rec, byFP[fp].Workload)
+			if err != nil {
+				continue
+			}
+			engine.Seed(run)
+			seeded++
+		}
+	}
+	if !quiet {
+		fmt.Fprintf(stderr, "brbench: farm drained: %d jobs done by %d workers; %d of %d results collected\n",
+			counts.Done, len(counts.Workers), seeded, len(fps))
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"branchreorder/internal/bench/store"
+	"branchreorder/internal/bench/storenet"
+	"branchreorder/internal/bench/storenet/queue"
+)
+
+// startCoordinator boots an in-process brstored-with-queue: the same
+// Server cmd/brstored serves, store-backed, with the work queue attached.
+func startCoordinator(t *testing.T, ttl time.Duration) (*storenet.Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := storenet.NewServer(st)
+	srv.AttachQueue(queue.New(ttl, 0))
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+// The fault-injection contract of the farm, end to end over the whole
+// 17-workload roster: a worker that dies holding a lease (no complete,
+// no heartbeat) costs the farm exactly one lease TTL — the job is
+// re-offered, another worker finishes it, and the collected output is
+// byte-identical to a single-process run.
+func TestBuildFarmSurvivesWorkerDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-roster farm run")
+	}
+	reference, _, code := capture(t, "-q", "-j", "8")
+	if code != 0 || len(reference) == 0 {
+		t.Fatalf("single-process reference exited %d", code)
+	}
+
+	srv, hs := startCoordinator(t, time.Second)
+	out, _, code := capture(t, "-enqueue", hs.URL)
+	if code != 0 || !strings.Contains(out, "enqueued 51 jobs") {
+		t.Fatalf("enqueue exited %d: %q", code, out)
+	}
+	// Re-submitting the matrix is an idempotent resume.
+	out, _, code = capture(t, "-enqueue", hs.URL)
+	if code != 0 || !strings.Contains(out, "enqueued 0 jobs (51 already known)") {
+		t.Fatalf("re-enqueue exited %d: %q", code, out)
+	}
+
+	// Worker A completes one job, then dies while holding its second
+	// lease — deterministically, via the fault-injection flag.
+	_, errA, code := capture(t, "-worker", hs.URL, "-q", "-worker-id", "wA",
+		"-die-after-leases", "2", "-farm-poll", "10ms")
+	if code != 0 || !strings.Contains(errA, "dying after lease 2") {
+		t.Fatalf("faulty worker exited %d: %q", code, errA)
+	}
+	counts := srv.Queue().Counts()
+	if counts.Done != 1 || counts.Leased+counts.Pending != 50 {
+		t.Fatalf("after worker death: %+v, want 1 done and 50 outstanding", counts)
+	}
+
+	// Healthy workers drain the rest concurrently — including, after one
+	// TTL, the job the dead worker took with it.
+	var wg sync.WaitGroup
+	codes := make([]int, 3)
+	errs := make([]string, 3)
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, stderr, c := capture(t, "-worker", hs.URL, "-q",
+				"-worker-id", fmt.Sprintf("w%d", i), "-farm-poll", "25ms")
+			codes[i], errs[i] = c, stderr
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != 0 {
+			t.Fatalf("worker w%d exited %d: %q", i, c, errs[i])
+		}
+	}
+
+	counts = srv.Queue().Counts()
+	if !counts.Drained || counts.Done != 51 || counts.Failed != 0 {
+		t.Fatalf("after drain: %+v, want 51 done", counts)
+	}
+	if counts.Expired < 1 {
+		t.Errorf("the dead worker's lease never expired: %+v", counts)
+	}
+	var credited int64
+	for _, n := range counts.Workers {
+		credited += n
+	}
+	if credited != 51 {
+		t.Errorf("per-worker completions sum to %d, want 51: %v", credited, counts.Workers)
+	}
+
+	// Collect renders from the farm store: zero builds, output
+	// byte-identical to the single-process reference.
+	farmOut, farmErr, code := capture(t, "-collect", hs.URL, "-collect-timeout", "30s")
+	if code != 0 {
+		t.Fatalf("collect exited %d: %q", code, farmErr)
+	}
+	if farmOut != reference {
+		t.Errorf("farm output differs from single-process output (%d vs %d bytes)",
+			len(farmOut), len(reference))
+	}
+	if !strings.Contains(farmErr, "brbench: 0 builds") {
+		t.Errorf("collect rebuilt jobs the farm already built:\n%s", farmErr)
+	}
+	if !strings.Contains(farmErr, "51 seeded") {
+		t.Errorf("collect summary missing the seed count:\n%s", farmErr)
+	}
+	if srv.Stats().Leases < 52 {
+		t.Errorf("server counted %d leases; the re-offered job should make it at least 52", srv.Stats().Leases)
+	}
+}
+
+// The farm roles are mutually exclusive and render nothing they cannot
+// produce; every bad combination must fail with a pointed message.
+func TestFarmFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-worker", "http://x", "-enqueue", "http://y"}, "pick one"},
+		{[]string{"-collect", "http://x", "-worker", "http://y"}, "pick one"},
+		{[]string{"-die-after-leases", "2"}, "-worker"},
+		{[]string{"-worker", "http://x", "-die-after-leases", "-1"}, "-die-after-leases"},
+		{[]string{"-worker", "http://x", "-table", "4"}, "render nothing"},
+		{[]string{"-enqueue", "http://x", "-export", "f.json"}, "render nothing"},
+		{[]string{"-collect", "http://x", "-merge", "a.json"}, "-collect"},
+		{[]string{"-collect", "http://x", "-shard", "0/2", "-export", "f.json"}, "-collect"},
+	}
+	for _, tc := range cases {
+		_, stderr, code := capture(t, tc.args...)
+		if code == 0 {
+			t.Errorf("%v accepted", tc.args)
+			continue
+		}
+		if !strings.Contains(stderr, tc.want) {
+			t.Errorf("%v: error %q does not mention %q", tc.args, stderr, tc.want)
+		}
+	}
+}
+
+// An enqueue against a dead coordinator must fail, not hang or succeed
+// silently.
+func TestEnqueueDeadCoordinator(t *testing.T) {
+	_, stderr, code := capture(t, "-enqueue", "http://127.0.0.1:1", "-store-timeout", "100ms")
+	if code == 0 {
+		t.Fatal("enqueue against nothing succeeded")
+	}
+	if !strings.Contains(stderr, "enqueue") {
+		t.Errorf("error does not mention enqueue: %q", stderr)
+	}
+}

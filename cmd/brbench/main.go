@@ -17,6 +17,12 @@
 // builds are uploaded, and any remote failure falls back to the local
 // tiers without failing the run.
 //
+// Against a brstored -queue coordinator the same binary self-organizes
+// into a build farm — no hand-chosen shards, stragglers re-offered after
+// one lease TTL: -enqueue submits the matrix, any number of -worker
+// processes pull jobs under TTL leases, and -collect waits for the drain
+// and renders output byte-identical to a single-process run.
+//
 //	brbench                 # everything
 //	brbench -j 4            # same, at most 4 concurrent builds
 //	brbench -table 4        # dynamic frequency measurements
@@ -29,6 +35,9 @@
 //	brbench -shard 1/2 -export s1.json    # machine B's half
 //	brbench -merge s0.json,s1.json        # full tables from both shards
 //	brbench -json runs.json               # machine-readable measurements
+//	brbench -enqueue http://build42:8370  # submit the matrix to the farm
+//	brbench -worker http://build42:8370   # pull and build jobs until drained
+//	brbench -collect http://build42:8370  # assemble the farm's full output
 package main
 
 import (
@@ -74,6 +83,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut   = fs.String("json", "", "also write every measured run to this file as JSON")
 		storeURL  = fs.String("store-url", "", "fleet-shared brstored result store (third cache tier behind -cache-dir)")
 		storeTO   = fs.Duration("store-timeout", 10*time.Second, "per-request timeout for -store-url operations")
+		enqueue   = fs.String("enqueue", "", "submit the job matrix to this brstored -queue coordinator and exit")
+		workerURL = fs.String("worker", "", "run as a build-farm worker: lease jobs from this coordinator URL until drained")
+		collect   = fs.String("collect", "", "wait for the farm at this coordinator URL to drain, then render from its store")
+		workerID  = fs.String("worker-id", "", "worker identity reported to the coordinator (default hostname-pid)")
+		farmPoll  = fs.Duration("farm-poll", 500*time.Millisecond, "poll interval while waiting on the farm queue (-worker idle, -collect)")
+		dieAfter  = fs.Int("die-after-leases", 0, "fault injection: exit without completing after acquiring this many leases (requires -worker)")
+		collectTO = fs.Duration("collect-timeout", 10*time.Minute, "-collect gives up if the farm has not drained after this long")
 		cacheGC   = fs.Duration("cache-gc", 0, "before running, evict -cache-dir entries older than this age")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -122,7 +138,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
+	farmRoles := 0
+	for _, u := range []string{*enqueue, *workerURL, *collect} {
+		if u != "" {
+			farmRoles++
+		}
+	}
 	switch {
+	case farmRoles > 1:
+		return fail(fmt.Errorf("-enqueue, -worker and -collect are different farm roles; pick one"))
+	case (*enqueue != "" || *workerURL != "") && (*table != 0 || *figure != 0 || *jsonOut != "" || *export != "" || *merge != "" || shardN > 0):
+		return fail(fmt.Errorf("-enqueue and -worker render nothing; drop -table/-figure/-json/-export/-merge/-shard"))
+	case *collect != "" && (*export != "" || *merge != "" || shardN > 0):
+		return fail(fmt.Errorf("-collect renders from the farm store; it cannot be combined with -shard/-export/-merge"))
+	case *dieAfter < 0:
+		return fail(fmt.Errorf("-die-after-leases needs a positive count, got %d", *dieAfter))
+	case *dieAfter > 0 && *workerURL == "":
+		return fail(fmt.Errorf("-die-after-leases is worker fault injection; add -worker URL"))
 	case shardN > 0 && *export == "":
 		return fail(fmt.Errorf("-shard runs a partial job matrix, which cannot render tables: add -export FILE"))
 	case *merge != "" && (*export != "" || shardN > 0):
@@ -152,6 +184,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	// -enqueue only talks to the coordinator; no engine, no rendering.
+	if *enqueue != "" {
+		jobList := bench.SuiteJobs(ws)
+		if *ablation {
+			jobList = bench.AblationJobs(lower.SetIII, ws)
+		}
+		return runEnqueue(*enqueue, *storeTO, jobList, stdout, stderr)
+	}
+
 	var progress io.Writer = stderr
 	if *quiet {
 		progress = nil
@@ -174,6 +215,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		engine.UseStore(st)
 	}
+	// A farm worker or collector talks to the coordinator's result store
+	// too: the queue carries job identities, the store carries results.
+	if *storeURL == "" {
+		if *workerURL != "" {
+			*storeURL = *workerURL
+		} else if *collect != "" {
+			*storeURL = *collect
+		}
+	}
+	var remote *storenet.Client
 	if *storeURL != "" {
 		logf := func(string, ...interface{}) {}
 		if !*quiet {
@@ -183,6 +234,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
+		remote = client
 		engine.UseRemote(client)
 	}
 	start := time.Now()
@@ -192,6 +244,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if !*quiet {
 			st := engine.Stats()
 			fmt.Fprintf(stderr, "brbench: %d builds, %d cache hits", st.Builds, st.Hits)
+			if st.Seeded > 0 {
+				fmt.Fprintf(stderr, ", %d seeded", st.Seeded)
+			}
 			if *cacheDir != "" {
 				fmt.Fprintf(stderr, ", %d disk hits, %d disk misses, %d disk invalidated",
 					st.DiskHits, st.DiskMisses, st.DiskInvalid)
@@ -233,6 +288,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}()
+
+	if *workerURL != "" {
+		id := *workerID
+		if id == "" {
+			id = defaultWorkerID()
+		}
+		return runWorker(ctx, engine, remote,
+			workerConfig{id: id, poll: *farmPoll, dieAfter: *dieAfter, quiet: *quiet}, stderr)
+	}
+	if *collect != "" {
+		jobList := bench.SuiteJobs(ws)
+		if *ablation {
+			jobList = bench.AblationJobs(lower.SetIII, ws)
+		}
+		if err := collectFarm(ctx, engine, remote, jobList, *collectTO, *farmPoll, *quiet, stderr); err != nil {
+			return fail(err)
+		}
+	}
 
 	// exportRuns measures jobList (or its -shard partition) and writes
 	// the records plus this engine's cache counters, so a later -merge

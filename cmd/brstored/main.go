@@ -9,11 +9,20 @@
 //	brstored -dir pool -addr 127.0.0.1:9000            # pick a port
 //	brstored -dir pool -max-bytes 1073741824           # LRU-bound to 1 GiB
 //	brstored -dir pool -max-age 720h -gc-interval 1h   # drop month-old entries
+//	brstored -dir pool -queue -lease-ttl 30s           # build-farm coordinator
 //
 // Point workers at it with brbench -store-url http://HOST:8370; a
 // warm pool means a fresh machine runs the whole suite with zero
 // builds. GET /metrics serves plaintext counters (hits, misses, puts,
-// bytes, evictions).
+// bytes, evictions — and, with -queue, queue depth, leases, and
+// per-worker completions).
+//
+// With -queue the server additionally coordinates a build farm: brbench
+// -enqueue submits the job matrix, any number of brbench -worker
+// processes pull jobs under -lease-ttl leases (a dead worker's lease is
+// re-offered after one TTL), and brbench -collect assembles the merged
+// output. -log-requests emits one structured line per request, and
+// /debug/pprof serves the standard profiles.
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	nhpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,6 +41,7 @@ import (
 
 	"branchreorder/internal/bench/store"
 	"branchreorder/internal/bench/storenet"
+	"branchreorder/internal/bench/storenet/queue"
 )
 
 func main() {
@@ -51,6 +62,10 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(addr
 		maxAge     = fs.Duration("max-age", 0, "evict entries older than this (0 = keep forever)")
 		gcInterval = fs.Duration("gc-interval", 10*time.Minute, "how often to run eviction when -max-bytes or -max-age is set")
 		quiet      = fs.Bool("q", false, "suppress startup and gc logging")
+		withQueue  = fs.Bool("queue", false, "also coordinate a build farm: serve the work-queue API")
+		leaseTTL   = fs.Duration("lease-ttl", queue.DefaultTTL, "work-queue lease TTL; a worker silent this long forfeits its job (requires -queue)")
+		logReqs    = fs.Bool("log-requests", false, "log one structured line per HTTP request")
+		pprofOn    = fs.Bool("pprof", false, "serve /debug/pprof profiling endpoints")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -65,6 +80,12 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(addr
 	if *gcInterval <= 0 {
 		return fail(fmt.Errorf("-gc-interval must be positive, got %v", *gcInterval))
 	}
+	if *leaseTTL <= 0 {
+		return fail(fmt.Errorf("-lease-ttl must be positive, got %v", *leaseTTL))
+	}
+	if *leaseTTL != queue.DefaultTTL && !*withQueue {
+		return fail(errors.New("-lease-ttl tunes the work queue; add -queue"))
+	}
 	st, err := store.Open(*dir)
 	if err != nil {
 		return fail(err)
@@ -74,6 +95,17 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(addr
 		if !*quiet {
 			fmt.Fprintf(stderr, format, args...)
 		}
+	}
+	if *withQueue {
+		srv.AttachQueue(queue.New(*leaseTTL, 0))
+		logf("brstored: work-queue coordinator enabled, lease TTL %v\n", *leaseTTL)
+	}
+	if *logReqs {
+		// Explicitly requested, so it bypasses -q: request logs are the
+		// point, not chatter.
+		srv.LogRequests(func(format string, args ...interface{}) {
+			fmt.Fprintf(stderr, format, args...)
+		})
 	}
 
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
@@ -114,7 +146,20 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(addr
 		}
 	}()
 
-	hs := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// The store/queue API keeps its own mux; pprof mounts beside it
+		// so profiling a busy coordinator needs no second port.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", nhpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", nhpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", nhpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", nhpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", nhpprof.Trace)
+		handler = mux
+	}
+	hs := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {

@@ -12,6 +12,7 @@ import (
 
 	"branchreorder/internal/bench/store"
 	"branchreorder/internal/bench/storenet"
+	"branchreorder/internal/bench/storenet/queue"
 	"branchreorder/internal/interp"
 	"branchreorder/internal/lower"
 	"branchreorder/internal/pipeline"
@@ -117,5 +118,111 @@ func TestServeRoundTripAndShutdown(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("brstored did not shut down")
+	}
+}
+
+// With -queue the daemon is a coordinator: the work-queue API is live,
+// /metrics grows the queue section, -log-requests traces the traffic,
+// and -pprof serves the profiling index.
+func TestServeQueueCoordinator(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrc := make(chan string, 1)
+	done := make(chan int, 1)
+	var buf syncBuffer
+	go func() {
+		done <- run(ctx, []string{"-dir", t.TempDir(), "-addr", "127.0.0.1:0",
+			"-queue", "-lease-ttl", "30s", "-log-requests", "-pprof"}, &buf,
+			func(addr string) { addrc <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-addrc:
+	case code := <-done:
+		t.Fatalf("brstored exited %d before listening: %s", code, buf.String())
+	case <-time.After(5 * time.Second):
+		t.Fatal("brstored never came up")
+	}
+
+	client, err := storenet.NewClient("http://"+addr, storenet.ClientConfig{Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []queue.JobSpec{{Workload: "wc", Opts: pipeline.Options{Switch: lower.SetI, Optimize: true}}}
+	if resp, err := client.EnqueueJobs(ctx, specs); err != nil || resp.Accepted != 1 {
+		t.Fatalf("enqueue: %+v, %v", resp, err)
+	}
+	l, _, err := client.LeaseJob(ctx, "w1")
+	if err != nil || l == nil {
+		t.Fatalf("lease: %v, %v", l, err)
+	}
+	if l.TTL != 30*time.Second {
+		t.Errorf("lease TTL %v, want the -lease-ttl value 30s", l.TTL)
+	}
+	if err := client.CompleteJob(ctx, l.ID, l.Token, "w1", ""); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	counts, err := client.QueueStatus(ctx)
+	if err != nil || !counts.Drained || counts.Done != 1 {
+		t.Fatalf("status: %+v, %v", counts, err)
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"brstored_queue_enqueued 1",
+		"brstored_queue_depth 0",
+		"brstored_queue_completed 1",
+		`brstored_worker_completions{worker="w1"} 1`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	resp, err = http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: status %d, want 200", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("shutdown exited %d: %s", code, buf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("brstored did not shut down")
+	}
+
+	log := buf.String()
+	for _, want := range []string{
+		"work-queue coordinator enabled, lease TTL 30s",
+		"method=POST path=/v1/queue status=200",
+		"method=POST path=/v1/complete status=204",
+	} {
+		if !strings.Contains(log, want) {
+			t.Errorf("log missing %q:\n%s", want, log)
+		}
+	}
+}
+
+// -lease-ttl without -queue would silently configure nothing; refuse it.
+func TestLeaseTTLRequiresQueue(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run(context.Background(), []string{"-dir", t.TempDir(), "-lease-ttl", "5s"}, &buf, nil); code == 0 {
+		t.Error("-lease-ttl without -queue accepted")
+	}
+	if !strings.Contains(buf.String(), "-queue") {
+		t.Errorf("error does not point at -queue: %q", buf.String())
 	}
 }

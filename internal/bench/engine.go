@@ -125,6 +125,7 @@ func (e *Engine) Seed(r *ProgramRun) {
 	done := make(chan struct{})
 	close(done)
 	e.cache[key] = &entry{done: done, run: r}
+	e.stats.Seeded++
 }
 
 // Stats returns a snapshot of the cache counters, the per-stage

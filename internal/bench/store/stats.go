@@ -12,6 +12,10 @@ type TierStats struct {
 	// Hits is the number of lookups served from the in-memory memo
 	// (including callers that joined an in-flight build).
 	Hits int `json:"memoHits"`
+	// Seeded is the number of pre-measured runs installed into the memo
+	// from outside — merged shard exports or a farm collect — rather
+	// than built or fetched by this engine.
+	Seeded int `json:"seeded,omitempty"`
 
 	// Disk-tier counters; all stay zero when no store is attached.
 	DiskHits    int `json:"diskHits,omitempty"`    // jobs served from the disk store without building
@@ -49,6 +53,7 @@ type TierStats struct {
 func (s *TierStats) Add(o TierStats) {
 	s.Builds += o.Builds
 	s.Hits += o.Hits
+	s.Seeded += o.Seeded
 	s.DiskHits += o.DiskHits
 	s.DiskMisses += o.DiskMisses
 	s.DiskInvalid += o.DiskInvalid

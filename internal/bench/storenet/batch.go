@@ -1,0 +1,192 @@
+package storenet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"branchreorder/internal/bench/store"
+)
+
+// MaxBatchEntries bounds one batch request. A full suite matrix is 51
+// fingerprints; the bound exists to keep one request's memory
+// proportional to a grid, not to an attacker's patience.
+const MaxBatchEntries = 1024
+
+// MaxBatchBodyBytes bounds one batch request or response body.
+const MaxBatchBodyBytes = 64 << 20
+
+// BatchGetRequest is the body of POST /v1/batch/get.
+type BatchGetRequest struct {
+	Fingerprints []string `json:"fingerprints"`
+}
+
+// BatchEntry is one entry travelling in a batch, its canonical store
+// bytes embedded as raw JSON (entries are JSON documents already, so the
+// batch stays readable and skips base64 bloat).
+type BatchEntry struct {
+	Fingerprint string          `json:"fp"`
+	Data        json.RawMessage `json:"data"`
+}
+
+// BatchGetResponse answers a batch get: found entries plus the
+// fingerprints with nothing usable (misses and invalid entries alike —
+// the corrupt-entry-as-miss contract is tier-wide).
+type BatchGetResponse struct {
+	Entries []BatchEntry `json:"entries"`
+	Missing []string     `json:"missing,omitempty"`
+}
+
+// BatchPutRequest is the body of POST /v1/batch/put.
+type BatchPutRequest struct {
+	Entries []BatchEntry `json:"entries"`
+}
+
+// BatchPutReject describes one refused upload inside a batch.
+type BatchPutReject struct {
+	Fingerprint string `json:"fp"`
+	Error       string `json:"error"`
+}
+
+// BatchPutResponse reports a batch put entry by entry: validation
+// failures reject individual entries, never the batch.
+type BatchPutResponse struct {
+	Stored   int              `json:"stored"`
+	Rejected []BatchPutReject `json:"rejected,omitempty"`
+}
+
+// handleBatchGet serves many fingerprints in one round trip — how
+// brbench -collect warms a whole grid without one request per job.
+func (s *Server) handleBatchGet(w http.ResponseWriter, r *http.Request) {
+	var req BatchGetRequest
+	if !s.readBatchBody(w, r, &req) {
+		return
+	}
+	if len(req.Fingerprints) == 0 || len(req.Fingerprints) > MaxBatchEntries {
+		http.Error(w, fmt.Sprintf("need 1..%d fingerprints, got %d", MaxBatchEntries, len(req.Fingerprints)),
+			http.StatusBadRequest)
+		return
+	}
+	resp := BatchGetResponse{Entries: []BatchEntry{}}
+	for _, fp := range req.Fingerprints {
+		if !validFingerprint(fp) {
+			http.Error(w, fmt.Sprintf("malformed fingerprint %q", fp), http.StatusBadRequest)
+			return
+		}
+		data, st := s.st.GetRaw(fp)
+		switch st {
+		case store.Hit:
+			s.hits.Add(1)
+			s.st.Touch(fp)
+			s.bytesOut.Add(int64(len(data)))
+			resp.Entries = append(resp.Entries, BatchEntry{Fingerprint: fp, Data: json.RawMessage(data)})
+		case store.Invalid:
+			s.invalid.Add(1)
+			resp.Missing = append(resp.Missing, fp)
+		default:
+			s.misses.Add(1)
+			resp.Missing = append(resp.Missing, fp)
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// handleBatchPut lands many entries in one round trip, each one passing
+// the exact per-entry validation PUT /v1/entry applies: kind dispatch,
+// schema, checksum, fingerprint-matches-key. A bad entry is rejected in
+// the reply; the rest still land.
+func (s *Server) handleBatchPut(w http.ResponseWriter, r *http.Request) {
+	var req BatchPutRequest
+	if !s.readBatchBody(w, r, &req) {
+		return
+	}
+	if len(req.Entries) == 0 || len(req.Entries) > MaxBatchEntries {
+		http.Error(w, fmt.Sprintf("need 1..%d entries, got %d", MaxBatchEntries, len(req.Entries)),
+			http.StatusBadRequest)
+		return
+	}
+	resp := BatchPutResponse{}
+	reject := func(fp string, err error) {
+		s.putRejects.Add(1)
+		resp.Rejected = append(resp.Rejected, BatchPutReject{Fingerprint: fp, Error: err.Error()})
+	}
+	for _, ent := range req.Entries {
+		if !validFingerprint(ent.Fingerprint) {
+			reject(ent.Fingerprint, fmt.Errorf("malformed fingerprint"))
+			continue
+		}
+		if len(ent.Data) > MaxEntryBytes {
+			reject(ent.Fingerprint, fmt.Errorf("entry exceeds size limit"))
+			continue
+		}
+		if err := s.storeValidated(ent.Fingerprint, []byte(ent.Data)); err != nil {
+			reject(ent.Fingerprint, err)
+			continue
+		}
+		s.puts.Add(1)
+		s.bytesIn.Add(int64(len(ent.Data)))
+		resp.Stored++
+	}
+	writeJSON(w, resp)
+}
+
+// readBatchBody decodes one bounded batch body, answering 4xx itself on
+// anything malformed or oversized.
+func (s *Server) readBatchBody(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
+	if r.ContentLength > MaxBatchBodyBytes {
+		http.Error(w, "request body exceeds size limit", http.StatusRequestEntityTooLarge)
+		return false
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBatchBodyBytes)).Decode(dst); err != nil {
+		http.Error(w, "malformed request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// GetBatch fetches many entries in one request, returning the verified
+// entry bytes by fingerprint (absent keys were misses; the JSON
+// transport may compact whitespace, but entries still decode and
+// checksum). It shares
+// Get's retry/breaker policy; a dead server degrades to (nil, Fallback
+// outcome) via the error, and the caller's per-fingerprint tiers still
+// work.
+func (c *Client) GetBatch(ctx context.Context, fps []string) (map[string][]byte, error) {
+	var resp BatchGetResponse
+	if err := c.postJSON(ctx, "/v1/batch/get", BatchGetRequest{Fingerprints: fps}, &resp, true); err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(resp.Entries))
+	for _, ent := range resp.Entries {
+		out[ent.Fingerprint] = []byte(ent.Data)
+	}
+	return out, nil
+}
+
+// PutBatch uploads many already-encoded entries in one request. It
+// returns how many the server stored and any per-entry rejections
+// (which, like single-PUT rejections, mean the entry — not the run — is
+// lost).
+func (c *Client) PutBatch(ctx context.Context, entries map[string][]byte) (stored int, rejected []BatchPutReject, err error) {
+	fps := make([]string, 0, len(entries))
+	for fp := range entries {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps) // deterministic request bodies, deterministic logs
+	req := BatchPutRequest{Entries: make([]BatchEntry, 0, len(entries))}
+	for _, fp := range fps {
+		data := entries[fp]
+		if !bytes.HasPrefix(bytes.TrimLeft(data, " \t\r\n"), []byte("{")) {
+			return 0, nil, fmt.Errorf("storenet: entry %s is not a JSON document", fp)
+		}
+		req.Entries = append(req.Entries, BatchEntry{Fingerprint: fp, Data: json.RawMessage(data)})
+	}
+	var resp BatchPutResponse
+	if err := c.postJSON(ctx, "/v1/batch/put", req, &resp, true); err != nil {
+		return 0, nil, err
+	}
+	return resp.Stored, resp.Rejected, nil
+}

@@ -1,0 +1,290 @@
+package storenet
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"branchreorder/internal/bench/store"
+)
+
+// A batch put then batch get must round-trip every entry — the JSON
+// transport may compact whitespace, but each returned entry must still
+// pass the full decode+checksum validation and carry identical content —
+// with misses reported by fingerprint.
+func TestBatchRoundTrip(t *testing.T) {
+	srv, hs := newTestServer(t)
+	c := testClient(t, hs.URL, ClientConfig{})
+	ctx := context.Background()
+
+	entries := map[string][]byte{}
+	var fps []string
+	for _, src := range []string{"a", "b", "c"} {
+		fp := testFingerprint(src)
+		data, err := store.Encode(fp, testRecord())
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries[fp] = data
+		fps = append(fps, fp)
+	}
+	stored, rejected, err := c.PutBatch(ctx, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored != 3 || len(rejected) != 0 {
+		t.Fatalf("PutBatch: stored %d rejected %v, want 3/none", stored, rejected)
+	}
+
+	missing := testFingerprint("never-built")
+	got, err := c.GetBatch(ctx, append(fps, missing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("GetBatch returned %d entries, want 3", len(got))
+	}
+	want := testRecord()
+	for fp := range entries {
+		// The returned bytes must still pass full per-entry validation
+		// (schema, checksum, fingerprint) and carry the same record.
+		rec, err := store.Decode(got[fp], fp)
+		if err != nil {
+			t.Errorf("entry %s no longer decodes: %v", fp[:8], err)
+			continue
+		}
+		if rec.Workload != want.Workload || !bytes.Equal(rec.Base.Output, want.Base.Output) ||
+			rec.Base.Stats.Insts != want.Base.Stats.Insts {
+			t.Errorf("entry %s changed in batch round trip", fp[:8])
+		}
+	}
+	if _, ok := got[missing]; ok {
+		t.Error("GetBatch fabricated an entry for a never-stored fingerprint")
+	}
+	if st := srv.Stats(); st.Puts != 3 || st.Hits != 3 || st.Misses != 1 {
+		t.Errorf("stats after batch round trip: %+v", st)
+	}
+}
+
+// A bad entry inside a batch must be rejected alone; the rest of the
+// batch still lands. This is what lets a worker flush a whole grid
+// without one corrupt record losing the flush.
+func TestBatchPutRejectsPerEntry(t *testing.T) {
+	srv, hs := newTestServer(t)
+	c := testClient(t, hs.URL, ClientConfig{})
+	ctx := context.Background()
+
+	fpGood, fpBad := testFingerprint("good"), testFingerprint("bad")
+	good, err := store.Encode(fpGood, testRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A structurally-valid entry stored under the wrong key must fail
+	// the fingerprint check.
+	wrongKey, err := store.Encode(fpGood, testRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, rejected, err := c.PutBatch(ctx, map[string][]byte{
+		fpGood: good,
+		fpBad:  wrongKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored != 1 || len(rejected) != 1 || rejected[0].Fingerprint != fpBad {
+		t.Fatalf("PutBatch: stored %d rejected %+v, want 1 stored and %s rejected",
+			stored, rejected, fpBad[:8])
+	}
+	got, err := c.GetBatch(ctx, []string{fpGood, fpBad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got[fpGood]; !ok {
+		t.Error("good entry did not land")
+	}
+	if _, ok := got[fpBad]; ok {
+		t.Error("rejected entry landed anyway")
+	}
+	if st := srv.Stats(); st.PutRejects != 1 {
+		t.Errorf("put_rejects = %d, want 1", st.PutRejects)
+	}
+}
+
+// Malformed batch requests are clean 4xx answers.
+func TestBatchRejectsMalformedRequests(t *testing.T) {
+	_, hs := newTestServer(t)
+	for _, tc := range []struct {
+		name, path, body string
+	}{
+		{"garbage get", "/v1/batch/get", "{not json"},
+		{"empty get", "/v1/batch/get", `{"fingerprints":[]}`},
+		{"malformed fp", "/v1/batch/get", `{"fingerprints":["zz"]}`},
+		{"empty put", "/v1/batch/put", `{"entries":[]}`},
+	} {
+		resp, err := http.Post(hs.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		drain(resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+// A gzip-compressed request body must be inflated before validation, so
+// a compressed PUT lands exactly like a plain one.
+func TestGzipRequestBodies(t *testing.T) {
+	srv, hs := newTestServer(t)
+	ctx := context.Background()
+	fp := testFingerprint("a")
+	plain, err := store.Encode(fp, testRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write(plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() >= len(plain) {
+		t.Fatalf("test entry did not compress (%d -> %d)", len(plain), buf.Len())
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, hs.URL+entryPath(fp), bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(resp)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("gzip PUT: status %d, want 204", resp.StatusCode)
+	}
+	c := testClient(t, hs.URL, ClientConfig{})
+	got, out := c.Get(ctx, fp)
+	if out != Hit || got.Workload != "wc" {
+		t.Fatalf("entry after gzip PUT: %v / %+v", out, got)
+	}
+	if st := srv.Stats(); st.Puts != 1 || st.PutRejects != 0 {
+		t.Errorf("stats after gzip PUT: %+v", st)
+	}
+
+	// Lying about the encoding must be a clean 400, not a poisoned store.
+	req, err = http.NewRequestWithContext(ctx, http.MethodPut, hs.URL+entryPath(testFingerprint("b")),
+		bytes.NewReader([]byte("definitely not gzip")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus gzip body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// Responses must come back gzip-compressed for clients that ask, and
+// identical to the plain bytes once inflated.
+func TestGzipResponses(t *testing.T) {
+	_, hs := newTestServer(t)
+	c := testClient(t, hs.URL, ClientConfig{})
+	ctx := context.Background()
+	fp := testFingerprint("a")
+	if err := c.Put(ctx, fp, testRecord()); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := store.Encode(fp, testRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Setting Accept-Encoding by hand disables the transport's
+	// transparent decompression, exposing the raw compressed reply.
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, hs.URL+entryPath(fp), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET: status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatalf("response not gzip-encoded (Content-Encoding %q)", resp.Header.Get("Content-Encoding"))
+	}
+	if len(body) >= len(plain) {
+		t.Errorf("compressed reply (%d bytes) not smaller than plain entry (%d bytes)", len(body), len(plain))
+	}
+	gr, err := gzip.NewReader(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inflated, err := io.ReadAll(gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(inflated, plain) {
+		t.Error("inflated reply differs from the canonical entry bytes")
+	}
+
+	// A client that does not accept gzip gets plain bytes.
+	req.Header.Set("Accept-Encoding", "identity")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("Content-Encoding") == "gzip" {
+		t.Error("server compressed for a client that refused gzip")
+	}
+	if !bytes.Equal(body, plain) {
+		t.Error("plain reply differs from the canonical entry bytes")
+	}
+}
+
+// The Client compresses large PUT bodies on its own; the server-side
+// byte counter sees the inflated size, proving the middleware ran.
+func TestClientGzipsLargePuts(t *testing.T) {
+	srv, hs := newTestServer(t)
+	c := testClient(t, hs.URL, ClientConfig{})
+	ctx := context.Background()
+	fp := testFingerprint("a")
+	rec := testRecord()
+	if err := c.Put(ctx, fp, rec); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := store.Encode(fp, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) < gzipThreshold {
+		t.Skipf("test entry (%d bytes) below gzip threshold", len(plain))
+	}
+	if st := srv.Stats(); st.BytesIn != int64(len(plain)) {
+		t.Errorf("server counted %d bytes in, want inflated size %d", st.BytesIn, len(plain))
+	}
+	if got, out := c.Get(ctx, fp); out != Hit || got.Workload != rec.Workload {
+		t.Fatalf("round trip after compressed put: %v", out)
+	}
+}

@@ -1,0 +1,102 @@
+package storenet
+
+import (
+	"compress/gzip"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// maxDecompressedBytes caps what a gzip request body may inflate to.
+// Without it a tiny "gzip bomb" request could cost unbounded memory; with
+// it the cost is bounded like every other request path.
+const maxDecompressedBytes = MaxBatchBodyBytes * 2
+
+// decompressRequests returns h wrapped so a request body sent with
+// Content-Encoding: gzip is transparently inflated before the handler
+// sees it. The inflated bytes replace the body and ContentLength, so
+// handlers keep their exact-length validation without knowing the wire
+// was compressed. Anything that fails to inflate, or inflates past the
+// bound, gets a clean 4xx.
+func decompressRequests(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.EqualFold(r.Header.Get("Content-Encoding"), "gzip") {
+			h.ServeHTTP(w, r)
+			return
+		}
+		gz, err := gzip.NewReader(http.MaxBytesReader(w, r.Body, MaxBatchBodyBytes))
+		if err != nil {
+			http.Error(w, "malformed gzip body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(gz, maxDecompressedBytes+1))
+		if cerr := gz.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if err != nil {
+			http.Error(w, "malformed gzip body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if int64(len(body)) > maxDecompressedBytes {
+			http.Error(w, "decompressed body exceeds size limit", http.StatusRequestEntityTooLarge)
+			return
+		}
+		r.Body = io.NopCloser(strings.NewReader(string(body)))
+		r.ContentLength = int64(len(body))
+		r.Header.Del("Content-Encoding")
+		h.ServeHTTP(w, r)
+	})
+}
+
+// gzipResponseWriter compresses a response body. Headers are adjusted at
+// the first write, so handlers that set Content-Length beforehand (the
+// entry GET) still work: the length of the identity body is wrong for
+// the compressed one and is dropped.
+type gzipResponseWriter struct {
+	http.ResponseWriter
+	gz      *gzip.Writer
+	started bool
+}
+
+func (w *gzipResponseWriter) WriteHeader(code int) {
+	if !w.started {
+		w.started = true
+		w.Header().Del("Content-Length")
+		w.Header().Set("Content-Encoding", "gzip")
+		w.Header().Add("Vary", "Accept-Encoding")
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *gzipResponseWriter) Write(b []byte) (int, error) {
+	if !w.started {
+		w.WriteHeader(http.StatusOK)
+	}
+	return w.gz.Write(b)
+}
+
+// gzipped wraps a handler whose responses carry a body, compressing them
+// for clients that accept gzip (Go's default HTTP transport both asks
+// for and transparently inflates this, so the existing client gets it
+// for free). Handlers answering 204 are not wrapped by callers — a
+// bodyless status must not grow a gzip header.
+func gzipped(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodHead ||
+			!strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+			h(w, r)
+			return
+		}
+		gz := gzip.NewWriter(w)
+		gw := &gzipResponseWriter{ResponseWriter: w, gz: gz}
+		// Close only if the handler produced a body: closing an unused
+		// gzip writer would emit a bare gzip header on a response whose
+		// headers never announced compression.
+		defer func() {
+			if gw.started {
+				gz.Close()
+			}
+		}()
+		h(gw, r)
+	}
+}

@@ -1,0 +1,400 @@
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"branchreorder/internal/lower"
+	"branchreorder/internal/pipeline"
+)
+
+func spec(w string, set lower.HeuristicSet) JobSpec {
+	return JobSpec{Workload: w, Opts: pipeline.Options{Switch: set, Optimize: true}}
+}
+
+func specs(n int) []JobSpec {
+	out := make([]JobSpec, n)
+	for i := range out {
+		out[i] = spec(fmt.Sprintf("w%03d", i), lower.SetI)
+	}
+	return out
+}
+
+// fakeClock is a settable time source so expiry tests need no sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestQueue(ttl time.Duration) (*Queue, *fakeClock) {
+	q := New(ttl, 0)
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	q.SetClock(c.now)
+	return q, c
+}
+
+func TestSpecIDDeterministicAndDistinct(t *testing.T) {
+	a := spec("wc", lower.SetI)
+	if a.ID() != spec("wc", lower.SetI).ID() {
+		t.Error("identical specs got different IDs")
+	}
+	seen := map[string]bool{}
+	for _, s := range []JobSpec{
+		a,
+		spec("wc", lower.SetII),
+		spec("sort", lower.SetI),
+		{Workload: "wc", Opts: pipeline.Options{Switch: lower.SetI, Optimize: true, CommonSuccessor: true}},
+	} {
+		id := s.ID()
+		if seen[id] {
+			t.Errorf("duplicate ID %s for distinct spec %+v", id, s)
+		}
+		seen[id] = true
+	}
+}
+
+func TestEnqueueIdempotent(t *testing.T) {
+	q, _ := newTestQueue(time.Minute)
+	acc, known := q.Enqueue(specs(5))
+	if acc != 5 || known != 0 {
+		t.Fatalf("first enqueue: accepted %d known %d, want 5/0", acc, known)
+	}
+	acc, known = q.Enqueue(specs(5))
+	if acc != 0 || known != 5 {
+		t.Fatalf("re-enqueue: accepted %d known %d, want 0/5", acc, known)
+	}
+	if c := q.Counts(); c.Pending != 5 || c.Enqueued != 5 {
+		t.Fatalf("counts after duplicate enqueue: %+v", c)
+	}
+}
+
+func TestLeaseCompleteLifecycle(t *testing.T) {
+	q, _ := newTestQueue(time.Minute)
+	q.Enqueue(specs(2))
+	l1, ok, drained := q.Lease("w1")
+	if !ok || drained {
+		t.Fatalf("first lease: ok=%v drained=%v", ok, drained)
+	}
+	// FIFO: oldest job first.
+	if l1.Spec.Workload != "w000" {
+		t.Errorf("lease order: got %s, want w000", l1.Spec.Workload)
+	}
+	if l1.TTL != time.Minute {
+		t.Errorf("lease TTL %v, want 1m", l1.TTL)
+	}
+	l2, ok, _ := q.Lease("w2")
+	if !ok {
+		t.Fatal("second lease refused")
+	}
+	if _, ok, drained := q.Lease("w3"); ok || drained {
+		t.Fatalf("empty queue lease: ok=%v drained=%v (leases still live)", ok, drained)
+	}
+	if err := q.Complete(l1.ID, l1.Token, "w1", ""); err != nil {
+		t.Fatalf("complete 1: %v", err)
+	}
+	if err := q.Complete(l2.ID, l2.Token, "w2", ""); err != nil {
+		t.Fatalf("complete 2: %v", err)
+	}
+	_, ok, drained = q.Lease("w3")
+	if ok || !drained {
+		t.Fatalf("drained queue: ok=%v drained=%v", ok, drained)
+	}
+	c := q.Counts()
+	if !c.Drained || c.Done != 2 || c.Workers["w1"] != 1 || c.Workers["w2"] != 1 {
+		t.Fatalf("final counts: %+v", c)
+	}
+}
+
+func TestEmptyQueueIsNotDrained(t *testing.T) {
+	q, _ := newTestQueue(time.Minute)
+	if _, ok, drained := q.Lease("w"); ok || drained {
+		t.Fatalf("never-enqueued queue: ok=%v drained=%v, want false/false", ok, drained)
+	}
+	if q.Counts().Drained {
+		t.Error("never-enqueued queue reports drained")
+	}
+}
+
+func TestExpiredLeaseIsReoffered(t *testing.T) {
+	q, clock := newTestQueue(time.Minute)
+	q.Enqueue(specs(1))
+	l1, ok, _ := q.Lease("dead")
+	if !ok {
+		t.Fatal("lease refused")
+	}
+	// Before the deadline the job is not re-offered.
+	clock.advance(59 * time.Second)
+	if _, ok, _ := q.Lease("w2"); ok {
+		t.Fatal("job re-offered before its lease expired")
+	}
+	clock.advance(2 * time.Second)
+	l2, ok, _ := q.Lease("w2")
+	if !ok {
+		t.Fatal("expired job not re-offered")
+	}
+	if l2.ID != l1.ID || l2.Token == l1.Token {
+		t.Fatalf("re-lease: id %s→%s token reused=%v", l1.ID, l2.ID, l2.Token == l1.Token)
+	}
+	// The dead worker's stale token must be rejected, not retried.
+	if err := q.Complete(l1.ID, l1.Token, "dead", ""); !errors.Is(err, ErrLeaseConflict) {
+		t.Errorf("stale complete: %v, want ErrLeaseConflict", err)
+	}
+	if err := q.Heartbeat(l1.ID, l1.Token); !errors.Is(err, ErrLeaseConflict) {
+		t.Errorf("stale heartbeat: %v, want ErrLeaseConflict", err)
+	}
+	if err := q.Complete(l2.ID, l2.Token, "w2", ""); err != nil {
+		t.Fatalf("second worker complete: %v", err)
+	}
+	c := q.Counts()
+	if c.Expired != 1 || c.Done != 1 || c.Workers["w2"] != 1 || c.Workers["dead"] != 0 {
+		t.Fatalf("counts after re-lease: %+v", c)
+	}
+}
+
+func TestHeartbeatExtendsLease(t *testing.T) {
+	q, clock := newTestQueue(time.Minute)
+	q.Enqueue(specs(1))
+	l, _, _ := q.Lease("w1")
+	for i := 0; i < 5; i++ {
+		clock.advance(45 * time.Second)
+		if err := q.Heartbeat(l.ID, l.Token); err != nil {
+			t.Fatalf("heartbeat %d: %v", i, err)
+		}
+	}
+	if c := q.Counts(); c.Expired != 0 || c.Leased != 1 {
+		t.Fatalf("heartbeats did not hold the lease: %+v", c)
+	}
+	if err := q.Complete(l.ID, l.Token, "w1", ""); err != nil {
+		t.Fatalf("complete after heartbeats: %v", err)
+	}
+}
+
+func TestExpiredUnclaimedLeaseCanBeReclaimed(t *testing.T) {
+	q, clock := newTestQueue(time.Minute)
+	q.Enqueue(specs(1))
+	l, _, _ := q.Lease("slow")
+	clock.advance(2 * time.Minute) // expired, but nobody else took it
+	if err := q.Heartbeat(l.ID, l.Token); err != nil {
+		t.Fatalf("reclaim heartbeat: %v", err)
+	}
+	c := q.Counts()
+	if c.Reclaimed != 1 || c.Leased != 1 || c.Expired != 1 {
+		t.Fatalf("counts after reclaim: %+v", c)
+	}
+	if err := q.Complete(l.ID, l.Token, "slow", ""); err != nil {
+		t.Fatalf("complete after reclaim: %v", err)
+	}
+}
+
+func TestLateCompleteOnUnclaimedExpiredLease(t *testing.T) {
+	q, clock := newTestQueue(time.Minute)
+	q.Enqueue(specs(1))
+	l, _, _ := q.Lease("slow")
+	clock.advance(2 * time.Minute)
+	// Expired and re-offered, but unclaimed: the late completion is real
+	// work and is accepted.
+	if err := q.Complete(l.ID, l.Token, "slow", ""); err != nil {
+		t.Fatalf("late complete: %v", err)
+	}
+	if c := q.Counts(); c.Done != 1 || !c.Drained {
+		t.Fatalf("counts after late complete: %+v", c)
+	}
+}
+
+func TestCompleteIsIdempotent(t *testing.T) {
+	q, _ := newTestQueue(time.Minute)
+	q.Enqueue(specs(1))
+	l, _, _ := q.Lease("w1")
+	if err := q.Complete(l.ID, l.Token, "w1", ""); err != nil {
+		t.Fatal(err)
+	}
+	// A duplicate complete — same token or a stale one — is a no-op, not
+	// an error: the content-addressed result already landed.
+	if err := q.Complete(l.ID, l.Token, "w1", ""); err != nil {
+		t.Errorf("duplicate complete: %v", err)
+	}
+	if err := q.Complete(l.ID, "stale-token", "w2", ""); err != nil {
+		t.Errorf("stale-token complete on done job: %v", err)
+	}
+	c := q.Counts()
+	if c.Done != 1 || c.Workers["w1"] != 1 || c.Workers["w2"] != 0 {
+		t.Fatalf("duplicate completes double-counted: %+v", c)
+	}
+}
+
+func TestUnknownAndFinishedJobs(t *testing.T) {
+	q, _ := newTestQueue(time.Minute)
+	q.Enqueue(specs(1))
+	if err := q.Heartbeat("beef00112233", "tok"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("unknown heartbeat: %v", err)
+	}
+	if err := q.Complete("beef00112233", "tok", "w", ""); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("unknown complete: %v", err)
+	}
+	l, _, _ := q.Lease("w1")
+	q.Complete(l.ID, l.Token, "w1", "")
+	if err := q.Heartbeat(l.ID, l.Token); !errors.Is(err, ErrGone) {
+		t.Errorf("heartbeat on done job: %v, want ErrGone", err)
+	}
+}
+
+func TestFailedBuildsRetryThenFailPermanently(t *testing.T) {
+	q, _ := newTestQueue(time.Minute)
+	q.Enqueue(specs(1))
+	for attempt := 1; attempt <= DefaultMaxAttempts; attempt++ {
+		l, ok, _ := q.Lease(fmt.Sprintf("w%d", attempt))
+		if !ok {
+			t.Fatalf("attempt %d: job not offered", attempt)
+		}
+		if err := q.Complete(l.ID, l.Token, l.Spec.Workload, "boom"); err != nil {
+			t.Fatalf("attempt %d fail-complete: %v", attempt, err)
+		}
+	}
+	c := q.Counts()
+	if c.Failed != 1 || !c.Drained {
+		t.Fatalf("counts after exhausted attempts: %+v", c)
+	}
+	if len(c.Failures) != 1 || c.Failures[0].Error != "boom" || c.Failures[0].Workload != "w000" {
+		t.Fatalf("failure report: %+v", c.Failures)
+	}
+	if _, ok, drained := q.Lease("w9"); ok || !drained {
+		t.Fatalf("failed job re-offered: ok=%v drained=%v", ok, drained)
+	}
+}
+
+// The lease-contention guarantee under the race detector: N workers
+// hammering one queue, every job completed exactly once, and — because
+// every lease here outlives the test — no job is ever leased twice.
+func TestConcurrentLeaseContention(t *testing.T) {
+	const workers, jobs = 16, 120
+	q, _ := newTestQueue(time.Hour) // no lease can expire mid-test
+	q.Enqueue(specs(jobs))
+
+	var built sync.Map // job ID → *int64 build count
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			me := fmt.Sprintf("worker-%02d", w)
+			for {
+				l, ok, drained := q.Lease(me)
+				if drained {
+					return
+				}
+				if !ok {
+					continue // someone holds the last jobs; spin
+				}
+				n, _ := built.LoadOrStore(l.ID, new(int64))
+				atomic.AddInt64(n.(*int64), 1)
+				if err := q.Heartbeat(l.ID, l.Token); err != nil {
+					t.Errorf("%s heartbeat: %v", me, err)
+				}
+				if err := q.Complete(l.ID, l.Token, me, ""); err != nil {
+					t.Errorf("%s complete: %v", me, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	c := q.Counts()
+	if c.Done != jobs || c.Pending != 0 || c.Leased != 0 || c.Failed != 0 {
+		t.Fatalf("final counts: %+v", c)
+	}
+	if c.Expired != 0 {
+		t.Fatalf("leases expired under an hour-long TTL: %+v", c)
+	}
+	var total int64
+	for _, n := range c.Workers {
+		total += n
+	}
+	if total != jobs {
+		t.Errorf("per-worker completions sum to %d, want %d", total, jobs)
+	}
+	builds := 0
+	built.Range(func(id, n interface{}) bool {
+		builds++
+		if got := atomic.LoadInt64(n.(*int64)); got != 1 {
+			t.Errorf("job %v built %d times without an expired lease", id, got)
+		}
+		if got := q.Leases(id.(string)); got != 1 {
+			t.Errorf("job %v leased %d times without an expired lease", id, got)
+		}
+		return true
+	})
+	if builds != jobs {
+		t.Errorf("%d distinct jobs built, want %d", builds, jobs)
+	}
+}
+
+// Contention with deliberately dying workers: some holders never
+// complete, so jobs are re-offered after expiry and everything still
+// drains with exactly one done-transition per job.
+func TestConcurrentContentionWithExpiry(t *testing.T) {
+	const workers, jobs = 8, 60
+	q := New(20*time.Millisecond, 0) // real clock: expiry must happen mid-run
+	q.Enqueue(specs(jobs))
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			me := fmt.Sprintf("worker-%02d", w)
+			drops := 0
+			for {
+				l, ok, drained := q.Lease(me)
+				if drained {
+					return
+				}
+				if !ok {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				// Every worker abandons its first two leases — takes the
+				// job and dies silently, like a crashed machine.
+				if drops < 2 {
+					drops++
+					continue
+				}
+				if err := q.Complete(l.ID, l.Token, me, ""); err != nil &&
+					!errors.Is(err, ErrLeaseConflict) {
+					t.Errorf("%s complete: %v", me, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	c := q.Counts()
+	if c.Done != jobs || !c.Drained {
+		t.Fatalf("grid did not drain despite abandoned leases: %+v", c)
+	}
+	if c.Expired == 0 {
+		t.Error("abandoned leases never expired — the fault was not injected")
+	}
+	var total int64
+	for _, n := range c.Workers {
+		total += n
+	}
+	if total != jobs {
+		t.Errorf("per-worker completions sum to %d, want %d (double-counted transition)", total, jobs)
+	}
+}

@@ -1,0 +1,231 @@
+package storenet
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"branchreorder/internal/bench/storenet/queue"
+)
+
+// Queue-protocol client operations. Unlike the cache path — which is
+// built to degrade silently because local tiers can always serve — the
+// queue is the worker's lifeline, so these methods return real errors
+// and do not consult or feed the circuit breaker: a worker outlives a
+// coordinator restart by retrying its loop, not by tripping into
+// permanent fallback.
+//
+// Status-code mapping (the wire form of the queue's typed errors):
+//
+//	409 → queue.ErrLeaseConflict   another worker owns the job now
+//	410 → queue.ErrGone            the job already finished
+//	404 → queue.ErrUnknownJob      the job was never enqueued here
+//
+// All three are returned immediately, never retried: backing off
+// against a lease conflict only delays the worker's next useful lease.
+
+// EnqueueJobs submits a job matrix to the coordinator. Identical specs
+// already queued, running, or done are reported as known, not
+// re-queued, so re-submitting a matrix is an idempotent resume.
+func (c *Client) EnqueueJobs(ctx context.Context, specs []queue.JobSpec) (EnqueueResponse, error) {
+	var resp EnqueueResponse
+	err := c.postJSON(ctx, "/v1/queue", EnqueueRequest{Jobs: specs}, &resp, false)
+	return resp, err
+}
+
+// LeaseJob pulls one job. A nil lease with a nil error means nothing is
+// pending; drained then reports whether the whole grid is terminal
+// (stop) or work is still in flight elsewhere (poll again).
+func (c *Client) LeaseJob(ctx context.Context, worker string) (lease *queue.Lease, drained bool, err error) {
+	var resp LeaseResponse
+	if err := c.postJSON(ctx, "/v1/lease", LeaseRequest{Worker: worker}, &resp, false); err != nil {
+		return nil, false, err
+	}
+	if resp.Job == nil {
+		return nil, resp.Drained, nil
+	}
+	return &queue.Lease{
+		ID:    resp.ID,
+		Spec:  *resp.Job,
+		Token: resp.Token,
+		TTL:   time.Duration(resp.TTLSeconds * float64(time.Second)),
+	}, false, nil
+}
+
+// CompleteJob reports a finished build (buildErr == "") or a failed
+// attempt. Completing a job that someone else finished first returns
+// nil — results are content-addressed, so the duplicate was identical.
+func (c *Client) CompleteJob(ctx context.Context, id, token, worker, buildErr string) error {
+	return c.postJSON(ctx, "/v1/complete",
+		CompleteRequest{ID: id, Token: token, Worker: worker, Error: buildErr}, nil, false)
+}
+
+// HeartbeatJob extends the lease (id, token). queue.ErrLeaseConflict or
+// queue.ErrGone mean the job is no longer this worker's: stop building
+// it.
+func (c *Client) HeartbeatJob(ctx context.Context, id, token string) error {
+	return c.postJSON(ctx, "/v1/heartbeat", HeartbeatRequest{ID: id, Token: token}, nil, false)
+}
+
+// QueueStatus fetches the coordinator's counts — what -collect polls
+// until Drained.
+func (c *Client) QueueStatus(ctx context.Context) (queue.Counts, error) {
+	var counts queue.Counts
+	err := c.doJSON(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/queue", nil)
+	}, &counts, false)
+	return counts, err
+}
+
+// gzipThreshold is the body size above which the client compresses
+// request bodies. Tiny queue-protocol bodies are not worth the header;
+// store entries (hundreds of KB of JSON) compress ~10×.
+const gzipThreshold = 1 << 10
+
+// encodeBody marshals v, compressing when it pays. The returned
+// contentEncoding is "" or "gzip".
+func encodeBody(v interface{}) (data []byte, contentEncoding string, err error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, "", err
+	}
+	return maybeGzip(raw)
+}
+
+// maybeGzip compresses raw when it exceeds the threshold and the
+// compression actually shrinks it.
+func maybeGzip(raw []byte) (data []byte, contentEncoding string, err error) {
+	if len(raw) < gzipThreshold {
+		return raw, "", nil
+	}
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write(raw); err != nil {
+		return nil, "", err
+	}
+	if err := gz.Close(); err != nil {
+		return nil, "", err
+	}
+	if buf.Len() >= len(raw) {
+		return raw, "", nil
+	}
+	return buf.Bytes(), "gzip", nil
+}
+
+// postJSON posts one JSON body to path and decodes the JSON reply into
+// out (nil out skips decoding — for 204 replies). Transient failures
+// (5xx, connection errors) retry with the client's usual backoff; queue
+// status codes come back as their typed errors immediately. useBreaker
+// selects the cache-path discipline (fail fast once tripped, feed the
+// breaker) used by the batch operations.
+func (c *Client) postJSON(ctx context.Context, path string, in, out interface{}, useBreaker bool) error {
+	data, enc, err := encodeBody(in)
+	if err != nil {
+		return err
+	}
+	return c.doJSON(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if enc != "" {
+			req.Header.Set("Content-Encoding", enc)
+		}
+		return req, nil
+	}, out, useBreaker)
+}
+
+// doJSON runs one request (remaking it per attempt so the body reader
+// is fresh) under the client's retry policy and decodes the reply.
+func (c *Client) doJSON(ctx context.Context, newReq func() (*http.Request, error), out interface{}, useBreaker bool) error {
+	if useBreaker {
+		c.mu.Lock()
+		tripped := c.tripped
+		c.mu.Unlock()
+		if tripped {
+			return ErrUnavailable
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 && !c.sleep(ctx, attempt) {
+			return ctx.Err()
+		}
+		req, err := newReq()
+		if err != nil {
+			return err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		switch {
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			var derr error
+			if out != nil && resp.StatusCode != http.StatusNoContent {
+				derr = json.NewDecoder(io.LimitReader(resp.Body, MaxBatchBodyBytes)).Decode(out)
+			}
+			resp.Body.Close()
+			if derr != nil {
+				lastErr = fmt.Errorf("storenet: decoding %s reply: %w", req.URL.Path, derr)
+				continue
+			}
+			if useBreaker {
+				c.noteSuccess()
+			}
+			return nil
+		case resp.StatusCode >= 500:
+			drain(resp)
+			lastErr = fmt.Errorf("server: %s", resp.Status)
+			continue
+		default:
+			// Definite answers. The queue's protocol codes map back to
+			// their typed errors; retrying any 4xx cannot change it, so
+			// none of them are retried — a worker backing off against a
+			// lease conflict would only stall its next useful lease.
+			msg := readErrorBody(resp)
+			err := queueStatusError(resp.StatusCode, msg)
+			if useBreaker {
+				c.noteFailure(err)
+			}
+			return err
+		}
+	}
+	if useBreaker {
+		c.noteFailure(lastErr)
+	}
+	return lastErr
+}
+
+// queueStatusError maps a definite HTTP status onto the queue's typed
+// errors, wrapping so errors.Is works and the server's message is kept.
+func queueStatusError(status int, msg string) error {
+	switch status {
+	case http.StatusConflict:
+		return fmt.Errorf("%w: %s", queue.ErrLeaseConflict, msg)
+	case http.StatusGone:
+		return fmt.Errorf("%w: %s", queue.ErrGone, msg)
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s", queue.ErrUnknownJob, msg)
+	default:
+		return fmt.Errorf("server: %d %s", status, msg)
+	}
+}
+
+// readErrorBody returns a bounded copy of an error reply's body for the
+// error message, closing the response.
+func readErrorBody(resp *http.Response) string {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	resp.Body.Close()
+	return string(bytes.TrimSpace(data))
+}

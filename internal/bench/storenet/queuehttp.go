@@ -1,0 +1,219 @@
+package storenet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"branchreorder/internal/bench/storenet/queue"
+	"branchreorder/internal/workload"
+)
+
+// MaxQueueBodyBytes bounds one work-queue request body. A full
+// 17-workload ablation matrix is a few tens of KB; the bound exists so a
+// hostile client cannot force unbounded memory, same as MaxEntryBytes.
+const MaxQueueBodyBytes = 8 << 20
+
+// EnqueueRequest is the body of POST /v1/queue.
+type EnqueueRequest struct {
+	Jobs []queue.JobSpec `json:"jobs"`
+}
+
+// EnqueueResponse reports what POST /v1/queue did.
+type EnqueueResponse struct {
+	Accepted int   `json:"accepted"` // jobs newly queued
+	Known    int   `json:"known"`    // duplicates of jobs already queued, running, or done
+	Depth    int64 `json:"depth"`    // pending jobs after the enqueue
+}
+
+// LeaseRequest is the body of POST /v1/lease.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse is the reply to POST /v1/lease. Job is nil when nothing
+// is pending; Drained then tells the worker whether to wait (false:
+// leases are still live, or nothing was enqueued yet) or stop (true: the
+// whole grid is terminal).
+type LeaseResponse struct {
+	Job        *queue.JobSpec `json:"job,omitempty"`
+	ID         string         `json:"id,omitempty"`
+	Token      string         `json:"token,omitempty"`
+	TTLSeconds float64        `json:"ttlSeconds,omitempty"`
+	Drained    bool           `json:"drained,omitempty"`
+}
+
+// CompleteRequest is the body of POST /v1/complete. A non-empty Error
+// reports a failed build attempt instead of a result.
+type CompleteRequest struct {
+	ID     string `json:"id"`
+	Token  string `json:"token"`
+	Worker string `json:"worker"`
+	Error  string `json:"error,omitempty"`
+}
+
+// HeartbeatRequest is the body of POST /v1/heartbeat.
+type HeartbeatRequest struct {
+	ID    string `json:"id"`
+	Token string `json:"token"`
+}
+
+// AttachQueue turns the server into a build-farm coordinator: Handler
+// additionally serves the work-queue API and /metrics grows the queue
+// section. Call before Handler.
+func (s *Server) AttachQueue(q *queue.Queue) { s.queue = q }
+
+// Queue returns the attached work queue, nil for a plain cache server.
+func (s *Server) Queue() *queue.Queue { return s.queue }
+
+// readQueueBody decodes one bounded JSON request body into dst. It
+// returns false after answering the request itself: every malformed,
+// oversized, or truncated body gets a clean 4xx, never a panic and never
+// a queue mutation.
+func (s *Server) readQueueBody(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
+	if r.ContentLength > MaxQueueBodyBytes {
+		http.Error(w, "request body exceeds size limit", http.StatusRequestEntityTooLarge)
+		return false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxQueueBodyBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, "read: "+err.Error(), status)
+		return false
+	}
+	if err := json.Unmarshal(body, dst); err != nil {
+		http.Error(w, "malformed request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// handleEnqueue accepts a job matrix. Specs must name workloads this
+// build knows; a bad name fails the whole request (400) rather than
+// queueing a job no worker can ever build.
+func (s *Server) handleEnqueue(w http.ResponseWriter, r *http.Request) {
+	var req EnqueueRequest
+	if !s.readQueueBody(w, r, &req) {
+		return
+	}
+	if len(req.Jobs) == 0 {
+		http.Error(w, "no jobs in request", http.StatusBadRequest)
+		return
+	}
+	for i, spec := range req.Jobs {
+		if _, ok := workload.Named(spec.Workload); !ok {
+			http.Error(w, fmt.Sprintf("job %d: unknown workload %q", i, spec.Workload), http.StatusBadRequest)
+			return
+		}
+	}
+	accepted, known := s.queue.Enqueue(req.Jobs)
+	s.enqueues.Add(int64(accepted))
+	writeJSON(w, EnqueueResponse{
+		Accepted: accepted,
+		Known:    known,
+		Depth:    s.queue.Counts().Pending,
+	})
+}
+
+// handleLease hands one job to a worker.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !s.readQueueBody(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		http.Error(w, "worker ID required", http.StatusBadRequest)
+		return
+	}
+	l, ok, drained := s.queue.Lease(req.Worker)
+	if !ok {
+		writeJSON(w, LeaseResponse{Drained: drained})
+		return
+	}
+	s.leases.Add(1)
+	spec := l.Spec
+	writeJSON(w, LeaseResponse{
+		Job:        &spec,
+		ID:         l.ID,
+		Token:      l.Token,
+		TTLSeconds: l.TTL.Seconds(),
+	})
+}
+
+// handleComplete finishes (or fails) one leased job.
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !s.readQueueBody(w, r, &req) {
+		return
+	}
+	if err := s.queue.Complete(req.ID, req.Token, req.Worker, req.Error); err != nil {
+		writeQueueError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleHeartbeat extends one lease.
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !s.readQueueBody(w, r, &req) {
+		return
+	}
+	if err := s.queue.Heartbeat(req.ID, req.Token); err != nil {
+		writeQueueError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleQueueStatus reports the queue counts — what -collect polls and
+// what the fault-injection tests assert against.
+func (s *Server) handleQueueStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.queue.Counts())
+}
+
+// writeQueueError maps the queue's typed errors onto status codes the
+// client maps back: 409 lease conflict, 410 finished, 404 unknown. The
+// codes are the wire form of "stop retrying" — see the client's
+// queueCall.
+func writeQueueError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, queue.ErrLeaseConflict):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, queue.ErrGone):
+		http.Error(w, err.Error(), http.StatusGone)
+	case errors.Is(err, queue.ErrUnknownJob):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// writeJSON answers with one JSON document.
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// queueMetrics appends the coordinator section of /metrics: queue depth,
+// live/expired/reclaimed leases, terminal counts, and per-worker
+// completions (sorted, so the rendering is deterministic).
+func (s *Server) queueMetrics(w io.Writer) {
+	c := s.queue.Counts()
+	fmt.Fprintf(w, "brstored_queue_enqueued %d\n", c.Enqueued)
+	fmt.Fprintf(w, "brstored_queue_depth %d\n", c.Pending)
+	fmt.Fprintf(w, "brstored_queue_leased %d\n", c.Leased)
+	fmt.Fprintf(w, "brstored_queue_completed %d\n", c.Done)
+	fmt.Fprintf(w, "brstored_queue_failed %d\n", c.Failed)
+	fmt.Fprintf(w, "brstored_queue_expired %d\n", c.Expired)
+	fmt.Fprintf(w, "brstored_queue_reclaimed %d\n", c.Reclaimed)
+	for _, wc := range s.queue.WorkerCompletions() {
+		fmt.Fprintf(w, "brstored_worker_completions{worker=%q} %d\n", wc.Worker, wc.Done)
+	}
+}

@@ -1,0 +1,398 @@
+package storenet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"branchreorder/internal/bench/store"
+	"branchreorder/internal/bench/storenet/queue"
+	"branchreorder/internal/lower"
+	"branchreorder/internal/pipeline"
+	"branchreorder/internal/workload"
+)
+
+// newFarmServer returns a coordinator: a store-backed server with a work
+// queue attached, plus its httptest frontend.
+func newFarmServer(t *testing.T, ttl time.Duration) (*Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(st)
+	srv.AttachQueue(queue.New(ttl, 0))
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+func testSpecs(n int) []queue.JobSpec {
+	specs := make([]queue.JobSpec, 0, n)
+	for i, w := range workload.All() {
+		if i == n {
+			break
+		}
+		specs = append(specs, queue.JobSpec{
+			Workload: w.Name,
+			Opts:     pipeline.Options{Switch: lower.SetI, Optimize: true},
+		})
+	}
+	return specs
+}
+
+// The whole lease protocol must work through the Client: enqueue
+// (idempotently), lease, heartbeat, complete, and a drained verdict at
+// the end — with the /metrics queue section tracking every step.
+func TestQueueLifecycleOverHTTP(t *testing.T) {
+	_, hs := newFarmServer(t, time.Minute)
+	c := testClient(t, hs.URL, ClientConfig{})
+	ctx := context.Background()
+	specs := testSpecs(2)
+
+	resp, err := c.EnqueueJobs(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 2 || resp.Known != 0 || resp.Depth != 2 {
+		t.Fatalf("enqueue: %+v, want 2 accepted / depth 2", resp)
+	}
+	// Re-submitting the matrix is a resume, not an error.
+	resp, err = c.EnqueueJobs(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 0 || resp.Known != 2 {
+		t.Fatalf("re-enqueue: %+v, want 0 accepted / 2 known", resp)
+	}
+
+	for i := 0; i < 2; i++ {
+		l, drained, err := c.LeaseJob(ctx, "w1")
+		if err != nil || drained || l == nil {
+			t.Fatalf("lease %d: %v drained=%v err=%v", i, l, drained, err)
+		}
+		if l.Spec.Workload != specs[i].Workload || l.TTL != time.Minute {
+			t.Fatalf("lease %d: spec %q ttl %v", i, l.Spec.Workload, l.TTL)
+		}
+		if err := c.HeartbeatJob(ctx, l.ID, l.Token); err != nil {
+			t.Fatalf("heartbeat: %v", err)
+		}
+		if err := c.CompleteJob(ctx, l.ID, l.Token, "w1", ""); err != nil {
+			t.Fatalf("complete: %v", err)
+		}
+	}
+
+	l, drained, err := c.LeaseJob(ctx, "w1")
+	if err != nil || l != nil || !drained {
+		t.Fatalf("lease after drain: %v drained=%v err=%v, want nil/true/nil", l, drained, err)
+	}
+	counts, err := c.QueueStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !counts.Drained || counts.Done != 2 || counts.Workers["w1"] != 2 {
+		t.Fatalf("status: %+v, want drained with 2 done by w1", counts)
+	}
+
+	res, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	for _, want := range []string{
+		"brstored_queue_enqueued 2",
+		"brstored_queue_depth 0",
+		"brstored_queue_completed 2",
+		"brstored_queue_expired 0",
+		`brstored_worker_completions{worker="w1"} 2`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// The queue's typed errors must survive the wire: the status codes the
+// server writes must map back to the exact error values on the client,
+// so a worker can errors.Is its way through the protocol.
+func TestQueueTypedErrorsOverHTTP(t *testing.T) {
+	srv, hs := newFarmServer(t, time.Minute)
+	c := testClient(t, hs.URL, ClientConfig{})
+	ctx := context.Background()
+
+	// Unknown job → ErrUnknownJob (404).
+	if err := c.HeartbeatJob(ctx, "deadbeef00000000", "tok"); !errors.Is(err, queue.ErrUnknownJob) {
+		t.Errorf("heartbeat unknown: %v, want ErrUnknownJob", err)
+	}
+	if _, err := c.EnqueueJobs(ctx, testSpecs(1)); err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := c.LeaseJob(ctx, "w1")
+	if err != nil || l == nil {
+		t.Fatalf("lease: %v, %v", l, err)
+	}
+	// Wrong token → ErrLeaseConflict (409).
+	if err := c.CompleteJob(ctx, l.ID, "stale-token", "w2", ""); !errors.Is(err, queue.ErrLeaseConflict) {
+		t.Errorf("complete with stale token: %v, want ErrLeaseConflict", err)
+	}
+	if err := c.CompleteJob(ctx, l.ID, l.Token, "w1", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Heartbeat on a finished job → ErrGone (410).
+	if err := c.HeartbeatJob(ctx, l.ID, l.Token); !errors.Is(err, queue.ErrGone) {
+		t.Errorf("heartbeat done job: %v, want ErrGone", err)
+	}
+	// Complete on a Done job is idempotent over the wire too.
+	if err := c.CompleteJob(ctx, l.ID, l.Token, "w1", ""); err != nil {
+		t.Errorf("re-complete done job: %v, want nil", err)
+	}
+	// An enqueue naming a workload this build doesn't know must be
+	// refused whole.
+	if _, err := c.EnqueueJobs(ctx, []queue.JobSpec{{Workload: "nonesuch"}}); err == nil {
+		t.Error("enqueue of unknown workload succeeded")
+	}
+	if srv.Stats().Leases != 1 {
+		t.Errorf("lease counter = %d, want 1", srv.Stats().Leases)
+	}
+}
+
+// Protocol 4xx answers are definite: the client must surface them
+// immediately, never burn retry attempts on them. 5xx stays retryable —
+// a coordinator mid-restart is not a lost job.
+func TestQueueErrorsNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "owned by another worker", http.StatusConflict)
+	}))
+	defer hs.Close()
+	c := testClient(t, hs.URL, ClientConfig{MaxAttempts: 4})
+	err := c.CompleteJob(context.Background(), "id", "tok", "w", "")
+	if !errors.Is(err, queue.ErrLeaseConflict) {
+		t.Fatalf("err = %v, want ErrLeaseConflict", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("409 was retried: %d requests, want 1", n)
+	}
+
+	calls.Store(0)
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, "restarting", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer flaky.Close()
+	c = testClient(t, flaky.URL, ClientConfig{MaxAttempts: 4})
+	if err := c.HeartbeatJob(context.Background(), "id", "tok"); err != nil {
+		t.Fatalf("heartbeat through flaky server: %v", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("5xx retry count: %d requests, want 3", n)
+	}
+}
+
+// Queue operations are the worker's lifeline: they must keep working
+// after the cache breaker trips, while cache-path calls fail fast.
+func TestQueueBypassesBreaker(t *testing.T) {
+	_, hs := newFarmServer(t, time.Minute)
+	c := testClient(t, hs.URL, ClientConfig{})
+	c.mu.Lock()
+	c.tripped = true
+	c.mu.Unlock()
+
+	ctx := context.Background()
+	if _, err := c.GetBatch(ctx, []string{testFingerprint("a")}); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("batch get with tripped breaker: %v, want ErrUnavailable", err)
+	}
+	if _, err := c.EnqueueJobs(ctx, testSpecs(1)); err != nil {
+		t.Errorf("enqueue with tripped breaker: %v, want nil", err)
+	}
+	if l, _, err := c.LeaseJob(ctx, "w1"); err != nil || l == nil {
+		t.Errorf("lease with tripped breaker: %v, %v", l, err)
+	}
+}
+
+// Without AttachQueue the work-queue surface must not exist: a plain
+// cache server answers 404, so a mispointed worker fails loudly instead
+// of silently queueing into nothing.
+func TestQueueEndpointsAbsentWithoutQueue(t *testing.T) {
+	_, hs := newTestServer(t)
+	for _, path := range []string{"/v1/queue", "/v1/lease", "/v1/complete", "/v1/heartbeat"} {
+		resp, err := http.Post(hs.URL+path, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		drain(resp)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s on plain server: %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// Malformed and oversized queue bodies must be clean 4xx answers that
+// leave the queue untouched.
+func TestQueueBodyRejects(t *testing.T) {
+	srv, hs := newFarmServer(t, time.Minute)
+	post := func(path, body string, length int64) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, hs.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.ContentLength = length
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drain(resp)
+		return resp.StatusCode
+	}
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"garbage enqueue", "/v1/queue", "{not json", http.StatusBadRequest},
+		{"empty matrix", "/v1/queue", `{"jobs":[]}`, http.StatusBadRequest},
+		{"unknown workload", "/v1/queue", `{"jobs":[{"workload":"nonesuch","options":{}}]}`, http.StatusBadRequest},
+		{"worker-less lease", "/v1/lease", `{}`, http.StatusBadRequest},
+		{"garbage complete", "/v1/complete", "\xff\xfe", http.StatusBadRequest},
+		{"garbage heartbeat", "/v1/heartbeat", "[1,2", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if code := post(tc.path, tc.body, int64(len(tc.body))); code != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, code, tc.want)
+		}
+	}
+
+	// Oversized declared length is refused before the body is read.
+	req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/queue",
+		io.LimitReader(zeros{}, MaxQueueBodyBytes+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.ContentLength = MaxQueueBodyBytes + 1
+	req.Header.Set("Expect", "100-continue")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(resp)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized enqueue: %d, want 413", resp.StatusCode)
+	}
+
+	if c := srv.Queue().Counts(); c.Enqueued != 0 {
+		t.Errorf("rejected requests mutated the queue: %+v", c)
+	}
+}
+
+// LogRequests must emit one parseable line per request with the status
+// the handler actually wrote.
+func TestRequestLogging(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	srv := NewServer(st)
+	srv.LogRequests(func(format string, args ...interface{}) {
+		mu.Lock()
+		fmt.Fprintf(&buf, format, args...)
+		mu.Unlock()
+	})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	for _, req := range []struct{ method, path string }{
+		{http.MethodGet, "/metrics"},
+		{http.MethodGet, entryPath(testFingerprint("a"))},
+	} {
+		r, err := http.NewRequest(req.method, hs.URL+req.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drain(resp)
+	}
+	mu.Lock()
+	log := buf.String()
+	mu.Unlock()
+	for _, want := range []string{
+		"method=GET path=/metrics status=200",
+		"method=GET path=" + entryPath(testFingerprint("a")) + " status=404",
+	} {
+		if !strings.Contains(log, want) {
+			t.Errorf("log missing %q:\n%s", want, log)
+		}
+	}
+	if n := strings.Count(log, "brstored: req "); n != 2 {
+		t.Errorf("log has %d lines, want 2:\n%s", n, log)
+	}
+}
+
+// FuzzQueueDecode throws arbitrary bodies at every queue endpoint. The
+// contract under fuzz: never a 5xx, never a panic, and the queue's
+// books always balance afterwards — a malformed request cannot poison
+// the coordinator.
+func FuzzQueueDecode(f *testing.F) {
+	st, err := store.Open(f.TempDir())
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := testSpecs(1)[0]
+	f.Add(uint8(0), []byte(`{"jobs":[{"workload":"`+valid.Workload+`","options":{}}]}`))
+	f.Add(uint8(1), []byte(`{"worker":"w1"}`))
+	f.Add(uint8(2), []byte(`{"id":"deadbeef00000000","token":"t","worker":"w1"}`))
+	f.Add(uint8(3), []byte(`{"id":"deadbeef00000000","token":"t"}`))
+	f.Add(uint8(0), []byte(`{"jobs":[{"workload":"nonesuch"}]}`))
+	f.Add(uint8(1), []byte(`{not json`))
+	f.Add(uint8(2), []byte(``))
+	f.Add(uint8(3), bytes.Repeat([]byte("a"), 1<<16))
+	f.Add(uint8(2), []byte(`{"id":"`+strings.Repeat("x", 1<<10)+`","token":""}`))
+
+	paths := []string{"/v1/queue", "/v1/lease", "/v1/complete", "/v1/heartbeat"}
+	f.Fuzz(func(t *testing.T, which uint8, body []byte) {
+		srv := NewServer(st)
+		srv.AttachQueue(queue.New(time.Minute, 0))
+		h := srv.Handler()
+
+		// Some real state so complete/heartbeat bodies can collide with
+		// live jobs, not just unknown ones.
+		q := srv.Queue()
+		q.Enqueue([]queue.JobSpec{valid})
+		q.Lease("fuzz-worker")
+
+		req := httptest.NewRequest(http.MethodPost, paths[int(which)%len(paths)], bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("%s with %d-byte body answered %d:\n%s",
+				req.URL.Path, len(body), rec.Code, rec.Body.String())
+		}
+		c := q.Counts()
+		if c.Pending+c.Leased+c.Done+c.Failed != c.Enqueued {
+			t.Fatalf("queue books don't balance after request: %+v", c)
+		}
+		if c.Enqueued < 1 {
+			t.Fatalf("seeded job vanished: %+v", c)
+		}
+	})
+}

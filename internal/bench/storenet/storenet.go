@@ -1,12 +1,21 @@
-// Package storenet shares one result store across a fleet over HTTP.
+// Package storenet shares one result store — and one work queue —
+// across a fleet over HTTP.
 //
 // Server wraps a store.Store as a small content-addressed HTTP API —
-// GET/HEAD/PUT of entries keyed by their SHA-256 fingerprints, plus a
-// plaintext /metrics endpoint — and is what cmd/brstored serves. Because
-// entries are immutable and content-addressed, the protocol needs no
-// invalidation, no locking, and no coordination: a PUT either lands a
-// byte-validated entry or is rejected, and concurrent PUTs of the same
-// fingerprint write identical content.
+// GET/HEAD/PUT of entries keyed by their SHA-256 fingerprints, batched
+// multi-fingerprint get/put, plus a plaintext /metrics endpoint — and is
+// what cmd/brstored serves. Because entries are immutable and
+// content-addressed, the cache protocol needs no invalidation, no
+// locking, and no coordination: a PUT either lands a byte-validated
+// entry or is rejected, and concurrent PUTs of the same fingerprint
+// write identical content. Request and response bodies travel gzipped
+// when the peer supports it.
+//
+// With AttachQueue the same server becomes a build-farm coordinator:
+// the work-queue API (enqueue/lease/heartbeat/complete, package queue)
+// hands (workload × options) jobs to pulling workers under TTL leases
+// and re-offers whatever a dead worker was holding, while results flow
+// back through the store API the fleet already shares.
 //
 // Client is the engine-facing side: a third cache tier behind the
 // in-memory memo and the disk store. It is built to degrade, not to
@@ -16,7 +25,9 @@
 // fingerprint are deduplicated (single-flight), and once the server
 // looks dead a breaker stops paying the timeout tax for the rest of the
 // run. No Client failure ever propagates as an error to the build: the
-// caller's local tiers simply take over.
+// caller's local tiers simply take over. The queue-protocol calls are
+// the exception — a worker's lifeline returns real errors (with the
+// lease conflicts typed and never retried) and bypasses the breaker.
 package storenet
 
 // MaxEntryBytes bounds one serialized store entry in both directions:
