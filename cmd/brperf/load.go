@@ -1,0 +1,164 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"time"
+
+	"branchreorder/internal/bench/loadgen"
+)
+
+// loadFlags carries the -server mode's flag values into runLoad.
+type loadFlags struct {
+	server   string
+	duration time.Duration
+	clients  int
+	mix      string
+	seed     uint64
+	abandon  float64
+	jsonOut  bool
+	out      string
+}
+
+// runLoad is the brperf -server mode: drive the given brstored with the
+// configured mixed workload and report per-op-class latency. With
+// -json the report is the machine-readable load document
+// (LOAD_baseline.json); otherwise a human summary.
+func runLoad(f loadFlags) error {
+	mix, err := loadgen.ParseMix(f.mix)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	report, err := loadgen.Run(ctx, loadgen.Config{
+		URL:      f.server,
+		Clients:  f.clients,
+		Duration: f.duration,
+		Mix:      mix,
+		Seed:     f.seed,
+		Abandon:  f.abandon,
+		Logf: func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "brperf: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if report.Requests == 0 {
+		return fmt.Errorf("load run recorded no operations (server down, or duration shorter than one round trip?)")
+	}
+	if !f.jsonOut {
+		printLoadSummary(report)
+		return nil
+	}
+	if f.out == "" {
+		return report.WriteJSON(os.Stdout)
+	}
+	file, err := os.Create(f.out)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(file); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+// printLoadSummary renders the report for a terminal.
+func printLoadSummary(r *loadgen.Report) {
+	fmt.Printf("load: %d clients, mix %s, seed %d, %.1fs\n", r.Clients, r.Mix, r.Seed, r.DurationSec)
+	fmt.Printf("%-8s %10s %10s %9s %9s %9s %9s %8s\n",
+		"class", "requests", "req/s", "p50", "p90", "p99", "p99.9", "errors")
+	classes := make([]string, 0, len(r.Ops))
+	for class := range r.Ops {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		s := r.Ops[class]
+		fmt.Printf("%-8s %10d %10.0f %8.2fms %8.2fms %8.2fms %8.2fms %8d\n",
+			class, s.Requests, s.ReqPerSec,
+			s.LatencyMs.P50, s.LatencyMs.P90, s.LatencyMs.P99, s.LatencyMs.P999, s.Errors)
+	}
+	fmt.Printf("%-8s %10d %10.0f %39s %8d\n", "total", r.Requests, r.ReqPerSec, "", r.Errors)
+	if r.Server != nil {
+		fmt.Printf("server:  +%d hits +%d misses +%d puts +%d rejects",
+			r.Server.Hits, r.Server.Misses, r.Server.Puts, r.Server.PutRejects)
+		if r.Server.Enqueues > 0 || r.Server.QueueDone > 0 {
+			fmt.Printf(" | queue +%d enqueued +%d done +%d expired",
+				r.Server.Enqueues, r.Server.QueueDone, r.Server.QueueExpired)
+		}
+		fmt.Println()
+	}
+}
+
+// documentKind sniffs a result file's kind: "load" for load reports,
+// "" for classic benchmark documents (which predate the kind field).
+func documentKind(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	return probe.Kind, nil
+}
+
+// loadReport reads and validates one load document.
+func loadReport(path string) (*loadgen.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r loadgen.Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Kind != loadgen.ReportKind {
+		return nil, fmt.Errorf("%s: not a load report (kind %q)", path, r.Kind)
+	}
+	if len(r.Ops) == 0 {
+		return nil, fmt.Errorf("%s: no op classes", path)
+	}
+	return &r, nil
+}
+
+// compareDispatch routes -compare by document kind: two load reports go
+// through the load comparison, two benchmark documents through the
+// classic one, and a mix is a usage error rather than a silent zero.
+func compareDispatch(oldPath, newPath string, threshold float64) error {
+	oldKind, err := documentKind(oldPath)
+	if err != nil {
+		return err
+	}
+	newKind, err := documentKind(newPath)
+	if err != nil {
+		return err
+	}
+	if oldKind != newKind {
+		return fmt.Errorf("cannot compare %s (kind %q) with %s (kind %q)",
+			oldPath, oldKind, newPath, newKind)
+	}
+	if oldKind == loadgen.ReportKind {
+		oldR, err := loadReport(oldPath)
+		if err != nil {
+			return err
+		}
+		newR, err := loadReport(newPath)
+		if err != nil {
+			return err
+		}
+		return loadgen.CompareReports(os.Stdout, oldR, newR, threshold)
+	}
+	return compare(oldPath, newPath, threshold)
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"branchreorder/internal/bench/loadgen"
+	"branchreorder/internal/bench/store"
+	"branchreorder/internal/bench/storenet"
+	"branchreorder/internal/bench/storenet/queue"
+)
+
+// bootServer runs a brstored-equivalent (store + queue) on loopback.
+func bootServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := storenet.NewServer(st)
+	srv.AttachQueue(queue.New(time.Second, 0))
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+// runLoadTo runs the -server mode against hs writing the JSON document
+// to a file, and returns the decoded report.
+func runLoadTo(t *testing.T, hs *httptest.Server, path string) *loadgen.Report {
+	t.Helper()
+	err := runLoad(loadFlags{
+		server:   hs.URL,
+		duration: time.Second,
+		clients:  4,
+		mix:      "get=70,put=20,batch=5,queue=5",
+		seed:     1,
+		abandon:  0.1,
+		jsonOut:  true,
+		out:      path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := loadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return report
+}
+
+// The acceptance path end to end: brperf -server produces a load
+// document with throughput and percentiles for every requested op
+// class, and -compare against itself passes.
+func TestRunLoadProducesDocument(t *testing.T) {
+	hs := bootServer(t)
+	path := filepath.Join(t.TempDir(), "LOAD_baseline.json")
+	report := runLoadTo(t, hs, path)
+
+	if report.Errors != 0 {
+		t.Errorf("%d unexpected errors", report.Errors)
+	}
+	for _, class := range []string{"get", "put", "batch", "queue"} {
+		s := report.Ops[class]
+		if s == nil || s.Requests == 0 || s.ReqPerSec <= 0 {
+			t.Errorf("class %q missing from document: %+v", class, s)
+			continue
+		}
+		if s.LatencyMs.P50 <= 0 || s.LatencyMs.P99 <= 0 || s.LatencyMs.P999 <= 0 {
+			t.Errorf("class %q percentiles missing: %+v", class, s.LatencyMs)
+		}
+	}
+	if err := compareDispatch(path, path, 10); err != nil {
+		t.Errorf("self-comparison failed: %v", err)
+	}
+	if err := runLoad(loadFlags{server: hs.URL, mix: "get=1,fetch=2"}); err == nil {
+		t.Error("bad mix accepted")
+	}
+}
+
+// rewriteReport loads, mutates, and rewrites a load document.
+func rewriteReport(t *testing.T, src, dst string, mutate func(*loadgen.Report)) {
+	t.Helper()
+	r, err := loadReport(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate(r)
+	f, err := os.Create(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+// The regression gate: an injected tail-latency collapse in the new
+// document must make -compare exit nonzero.
+func TestCompareDispatchCatchesInjectedRegression(t *testing.T) {
+	hs := bootServer(t)
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	runLoadTo(t, hs, base)
+
+	bad := filepath.Join(dir, "bad.json")
+	rewriteReport(t, base, bad, func(r *loadgen.Report) {
+		r.Ops["get"].LatencyMs.P99 *= 50
+		r.Ops["get"].LatencyMs.P999 *= 50
+	})
+	err := compareDispatch(base, bad, 200)
+	if err == nil {
+		t.Fatal("50× injected p99 regression passed a 200% threshold")
+	}
+	if !strings.Contains(err.Error(), "get") {
+		t.Errorf("regression error does not name the class: %v", err)
+	}
+}
+
+// -compare refuses to diff a load document against a benchmark
+// document instead of silently comparing nothing.
+func TestCompareDispatchRejectsMixedKinds(t *testing.T) {
+	dir := t.TempDir()
+	loadPath := filepath.Join(dir, "load.json")
+	benchPath := filepath.Join(dir, "bench.json")
+
+	load := &loadgen.Report{
+		Kind: loadgen.ReportKind, Schema: loadgen.ReportSchema,
+		Ops: map[string]*loadgen.OpStats{"get": {Requests: 1}},
+	}
+	f, err := os.Create(loadPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := load.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	bench, _ := json.Marshal(document{Benchmarks: map[string]result{"Decode/wc": {NsPerOp: 1}}})
+	if err := os.WriteFile(benchPath, bench, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := compareDispatch(loadPath, benchPath, 25); err == nil {
+		t.Error("mixed-kind comparison succeeded")
+	}
+	// And the classic path still works through the dispatcher.
+	if err := compareDispatch(benchPath, benchPath, 25); err != nil {
+		t.Errorf("benchmark self-comparison failed: %v", err)
+	}
+}

@@ -17,6 +17,15 @@
 // how CI holds each PR against the committed baseline:
 //
 //	go run ./cmd/brperf -compare -threshold 50 BENCH_baseline.json new.json
+//
+// -server switches brperf from micro-benchmarks to macro load: it
+// drives a running brstored with a deterministic mixed workload
+// (internal/bench/loadgen) and reports per-op-class throughput and
+// latency percentiles. -json emits the load document committed as
+// LOAD_baseline.json; -compare understands both document kinds:
+//
+//	go run ./cmd/brperf -server http://127.0.0.1:8745 -duration 10s -json -o LOAD_baseline.json
+//	go run ./cmd/brperf -compare -threshold 200 LOAD_baseline.json load_new.json
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"branchreorder/internal/interp"
 	"branchreorder/internal/lower"
@@ -56,15 +66,34 @@ func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	doCompare := flag.Bool("compare", false, "compare two result files: brperf -compare [-threshold pct] OLD.json NEW.json")
 	threshold := flag.Float64("threshold", 25, "with -compare, fail if any benchmark slows down by more than this percentage")
+	server := flag.String("server", "", "load-test a running brstored at this base URL instead of benchmarking")
+	duration := flag.Duration("duration", 10*time.Second, "with -server, how long to generate load")
+	clients := flag.Int("clients", 8, "with -server, concurrent closed-loop clients")
+	mix := flag.String("mix", "get=70,put=20,batch=5,queue=5", "with -server, op-class weights")
+	seed := flag.Uint64("seed", 1, "with -server, workload stream seed (same seed, same op streams)")
+	abandon := flag.Float64("abandon", 0.1, "with -server, fraction of queue lifecycles abandoned after leasing")
+	jsonOut := flag.Bool("json", false, "with -server, emit the machine-readable load document instead of a summary")
 	flag.Parse()
 	var err error
-	if *doCompare {
+	switch {
+	case *doCompare:
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "usage: brperf -compare [-threshold pct] OLD.json NEW.json")
 			os.Exit(2)
 		}
-		err = compare(flag.Arg(0), flag.Arg(1), *threshold)
-	} else {
+		err = compareDispatch(flag.Arg(0), flag.Arg(1), *threshold)
+	case *server != "":
+		err = runLoad(loadFlags{
+			server:   *server,
+			duration: *duration,
+			clients:  *clients,
+			mix:      *mix,
+			seed:     *seed,
+			abandon:  *abandon,
+			jsonOut:  *jsonOut,
+			out:      *out,
+		})
+	default:
 		err = run(*out)
 	}
 	if err != nil {

@@ -1,0 +1,156 @@
+package loadgen
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+// The histogram's contract: a reported quantile is never below the true
+// quantile and never more than one bucket ratio (2^¼ ≈ 1.19×) above it.
+func TestQuantileBounds(t *testing.T) {
+	distributions := map[string][]time.Duration{
+		"uniform": func() []time.Duration {
+			out := make([]time.Duration, 10000)
+			for i := range out {
+				out[i] = time.Duration(i+1) * time.Microsecond
+			}
+			return out
+		}(),
+		"bimodal": func() []time.Duration {
+			out := make([]time.Duration, 0, 2000)
+			for i := 0; i < 1900; i++ {
+				out = append(out, 100*time.Microsecond)
+			}
+			for i := 0; i < 100; i++ {
+				out = append(out, 50*time.Millisecond)
+			}
+			return out
+		}(),
+		"geometric": func() []time.Duration {
+			out := make([]time.Duration, 0, 1000)
+			for i := 0; i < 1000; i++ {
+				out = append(out, time.Duration(1<<(i%20))*time.Microsecond)
+			}
+			return out
+		}(),
+	}
+	ratio := math.Pow(2, 0.25)
+	for name, values := range distributions {
+		var h Histogram
+		for _, v := range values {
+			h.Record(v)
+		}
+		sorted := append([]time.Duration{}, values...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1} {
+			rank := int(q * float64(len(sorted)))
+			if rank < 1 {
+				rank = 1
+			}
+			truth := sorted[rank-1]
+			got := h.Quantile(q)
+			if got < truth {
+				t.Errorf("%s q%.3f: %v below true %v", name, q, got, truth)
+			}
+			if float64(got) > float64(truth)*ratio+1 {
+				t.Errorf("%s q%.3f: %v more than %.2f× true %v", name, q, got, ratio, truth)
+			}
+		}
+	}
+}
+
+func TestHistogramExactStats(t *testing.T) {
+	var h Histogram
+	values := []time.Duration{3 * time.Microsecond, 7 * time.Millisecond, 50 * time.Microsecond, time.Second}
+	var sum time.Duration
+	for _, v := range values {
+		h.Record(v)
+		sum += v
+	}
+	if h.Count() != uint64(len(values)) {
+		t.Errorf("count %d", h.Count())
+	}
+	if h.Min() != 3*time.Microsecond || h.Max() != time.Second {
+		t.Errorf("min %v max %v", h.Min(), h.Max())
+	}
+	if h.Mean() != sum/time.Duration(len(values)) {
+		t.Errorf("mean %v want %v", h.Mean(), sum/time.Duration(len(values)))
+	}
+}
+
+// Overflow observations (beyond ~71 minutes) keep exact max and count.
+func TestHistogramOverflow(t *testing.T) {
+	var h Histogram
+	h.Record(2 * time.Hour)
+	h.Record(time.Millisecond)
+	if h.Count() != 2 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if got := h.Quantile(1); got != 2*time.Hour {
+		t.Errorf("overflow quantile %v", got)
+	}
+}
+
+// A quantile never exceeds the observed maximum, even when the bucket's
+// upper edge does.
+func TestQuantileClampedToMax(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(1000 * time.Microsecond) // bucket edge for 1000µs is ~1024µs
+	}
+	if got := h.Quantile(0.99); got != 1000*time.Microsecond {
+		t.Errorf("q99 %v beyond observed max", got)
+	}
+}
+
+func TestHistogramZero(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Error("zero histogram is not zero-valued")
+	}
+}
+
+// Merging per-client histograms must equal recording everything in one.
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	for i := 1; i <= 500; i++ {
+		d := time.Duration(i*i) * time.Microsecond
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+		all.Record(d)
+	}
+	var merged Histogram
+	merged.Merge(&a)
+	merged.Merge(&b)
+	if merged != all {
+		t.Error("merged histogram differs from single-recorder histogram")
+	}
+	var empty Histogram
+	merged.Merge(&empty)
+	if merged != all {
+		t.Error("merging an empty histogram changed the result")
+	}
+}
+
+// Bucket bounds must be strictly increasing with exact powers of two at
+// octave starts — the drift-free property the quantile error bound
+// depends on.
+func TestHistogramBounds(t *testing.T) {
+	for i := 1; i < histBuckets; i++ {
+		if histBounds[i] <= histBounds[i-1] {
+			t.Fatalf("bounds not increasing at %d: %v then %v", i, histBounds[i-1], histBounds[i])
+		}
+	}
+	for oct := 0; oct*histBucketsPerOctave < histBuckets; oct++ {
+		i := oct*histBucketsPerOctave + histBucketsPerOctave - 1
+		want := time.Duration(1) << (oct + 1) * time.Microsecond
+		if histBounds[i] != want {
+			t.Errorf("octave %d end bound %v, want %v", oct, histBounds[i], want)
+		}
+	}
+}

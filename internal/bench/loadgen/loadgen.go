@@ -1,0 +1,390 @@
+// Package loadgen drives a running brstored with a deterministic mixed
+// workload and reports per-op-class latency and throughput — the brperf
+// -server subsystem.
+//
+// The generator is closed-loop: each of N clients issues its next
+// operation when the previous one finishes, so measured latency is
+// honest server latency rather than coordinated-omission noise from an
+// open-loop arrival schedule. Each client plans its operations with a
+// Stream — a pure function of (seed, client) — so two runs with the
+// same flags replay identical traffic, and every request travels
+// through storenet.Client, the production path with its retries, gzip,
+// single-flight and validation, observed via the client's Observer
+// hook rather than a parallel HTTP stack.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"branchreorder/internal/bench/storenet"
+	"branchreorder/internal/bench/storenet/queue"
+)
+
+// Config shapes one load run.
+type Config struct {
+	// URL is the brstored base URL. Required.
+	URL string
+	// Clients is the number of concurrent closed-loop clients.
+	// <= 0 means 8.
+	Clients int
+	// Duration is how long to generate load. <= 0 means 10s.
+	Duration time.Duration
+	// Mix weighs the op classes. Zero value means DefaultMix.
+	Mix Mix
+	// Seed selects the deterministic workload stream. 0 means 1.
+	Seed uint64
+	// Abandon is the fraction of queue lifecycles that lease and walk
+	// away, feeding the server's TTL expiry sweep. 0 disables.
+	Abandon float64
+	// Population is the pre-seeded entry count GETs draw from.
+	// <= 0 means 256.
+	Population int
+	// MissFrac is the fraction of GETs aimed at never-stored
+	// fingerprints. 0 means 0.1; negative disables misses.
+	MissFrac float64
+	// BatchSize is the entry count per batch op. <= 0 means 16.
+	BatchSize int
+	// Timeout bounds each HTTP request. <= 0 means 5s.
+	Timeout time.Duration
+	// Logf receives progress notices. Nil discards them.
+	Logf func(format string, args ...interface{})
+}
+
+// withDefaults fills the zero values.
+func (c Config) withDefaults() Config {
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Mix.Total() == 0 {
+		c.Mix = DefaultMix()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Population <= 0 {
+		c.Population = 256
+	}
+	if c.MissFrac == 0 {
+		c.MissFrac = 0.1
+	} else if c.MissFrac < 0 {
+		c.MissFrac = 0
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...interface{}) {}
+	}
+	return c
+}
+
+// classAcc accumulates one op class on one client.
+type classAcc struct {
+	hist     Histogram
+	errors   uint64
+	outcomes map[string]uint64
+}
+
+// recorder is one client's latency sink. Not locked: the closed loop
+// guarantees one observation at a time, and recorders are merged after
+// the run.
+type recorder struct {
+	classes map[string]*classAcc
+}
+
+// classFor maps an Observation's op name onto the report's op classes.
+// Every queue-protocol request is one "queue" observation: the class
+// measures coordinator round-trips, not whole lifecycles, so an
+// abandoned lease contributes its enqueue and lease like any other.
+func classFor(op string) string {
+	switch op {
+	case "get", "head":
+		return "get"
+	case "put":
+		return "put"
+	case "batch-get", "batch-put":
+		return "batch"
+	case "enqueue", "lease", "heartbeat", "complete", "status":
+		return "queue"
+	}
+	return op
+}
+
+// classify folds the client's outcome vocabulary into the report's.
+// Misses are planned (MissFrac) and lease conflicts are the expected
+// sound of contention under expiry churn — both are outcomes, not
+// errors. Fallback means the breaker path answered instead of the
+// server, which for a load generator is always a failure.
+func classify(o storenet.Observation) (outcome string, isErr bool) {
+	switch o.Outcome {
+	case "error":
+		if errors.Is(o.Err, queue.ErrLeaseConflict) || errors.Is(o.Err, queue.ErrGone) {
+			return "conflict", false
+		}
+		return "error", true
+	case "fallback":
+		return "fallback", true
+	default: // ok, hit, miss
+		return o.Outcome, false
+	}
+}
+
+// observe records one client observation.
+func (r *recorder) observe(o storenet.Observation) {
+	class := classFor(o.Op)
+	acc := r.classes[class]
+	if acc == nil {
+		acc = &classAcc{outcomes: map[string]uint64{}}
+		r.classes[class] = acc
+	}
+	outcome, isErr := classify(o)
+	acc.hist.Record(o.Duration)
+	acc.outcomes[outcome]++
+	if isErr {
+		acc.errors++
+	}
+}
+
+// Run executes one load run: snapshot the server, seed the GET
+// population, fire cfg.Clients closed-loop clients for cfg.Duration,
+// snapshot again, and fold the per-client recorders into a Report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("loadgen: no server URL")
+	}
+
+	// The setup client is unobserved — seeding the population is not load.
+	setup, err := storenet.NewClient(cfg.URL, storenet.ClientConfig{
+		Timeout: cfg.Timeout,
+		// A load generator that trips its breaker stops generating load
+		// and measures nothing; errors must surface per-op instead.
+		BreakerThreshold: 1 << 30,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := seedPopulation(ctx, setup, cfg); err != nil {
+		return nil, fmt.Errorf("loadgen: seeding population: %w", err)
+	}
+
+	// Snapshot after seeding, so the delta is the load and only the load.
+	before, err := setup.Metrics(ctx)
+	if err != nil {
+		// An older server without /metrics.json still takes load fine;
+		// the report just loses its server-side cross-check.
+		cfg.Logf("loadgen: no server metrics snapshot: %v", err)
+		before = nil
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	recorders := make([]*recorder, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Clients; i++ {
+		rec := &recorder{classes: map[string]*classAcc{}}
+		recorders[i] = rec
+		client, err := storenet.NewClient(cfg.URL, storenet.ClientConfig{
+			Timeout:          cfg.Timeout,
+			BreakerThreshold: 1 << 30,
+			Observer: func(o storenet.Observation) {
+				// An op cut off by the run deadline measures the
+				// deadline, not the server: drop it.
+				if runCtx.Err() != nil {
+					return
+				}
+				rec.observe(o)
+			},
+		})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			runClient(runCtx, client, rec, cfg, id)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed > cfg.Duration {
+		// In-flight ops past the deadline are unrecorded; rate against
+		// the window that was actually measured.
+		elapsed = cfg.Duration
+	}
+
+	var after *storenet.MetricsSnapshot
+	if before != nil {
+		if after, err = setup.Metrics(ctx); err != nil {
+			cfg.Logf("loadgen: closing metrics snapshot: %v", err)
+			after = nil
+		}
+	}
+
+	return assemble(cfg, elapsed, recorders, before, after), nil
+}
+
+// seedChunk bounds one seeding batch upload.
+const seedChunk = 64
+
+// seedPopulation uploads the shared GET population. Re-seeding an
+// already-seeded server is an idempotent overwrite of identical bytes.
+func seedPopulation(ctx context.Context, c *storenet.Client, cfg Config) error {
+	cfg.Logf("loadgen: seeding %d population entries", cfg.Population)
+	for base := 0; base < cfg.Population; base += seedChunk {
+		entries := map[string][]byte{}
+		for i := base; i < base+seedChunk && i < cfg.Population; i++ {
+			fp := popFingerprint(cfg.Seed, uint64(i))
+			data, err := encodedEntry(fp, uint64(i))
+			if err != nil {
+				return err
+			}
+			entries[fp] = data
+		}
+		stored, rejected, err := c.PutBatch(ctx, entries)
+		if err != nil {
+			return err
+		}
+		if len(rejected) > 0 {
+			return fmt.Errorf("server rejected %d of %d seed entries: %s",
+				len(rejected), stored+len(rejected), rejected[0].Error)
+		}
+	}
+	return nil
+}
+
+// runClient is one closed-loop client: plan the next op, execute it
+// through the production client, repeat until the run deadline. Errors
+// are not fatal here — they are what the recorder is for.
+func runClient(ctx context.Context, c *storenet.Client, rec *recorder, cfg Config, id int) {
+	stream := NewStream(cfg.Seed, id, cfg.Mix, cfg.Population, cfg.MissFrac, cfg.Abandon)
+	worker := fmt.Sprintf("loadgen-%04d", id)
+	for ctx.Err() == nil {
+		op := stream.Next()
+		switch op.Kind {
+		case OpGet:
+			fp := popFingerprint(cfg.Seed, op.Index)
+			if op.Miss {
+				fp = missFingerprint(cfg.Seed, id, op.Index)
+			}
+			c.Get(ctx, fp)
+		case OpPut:
+			fp := putFingerprint(cfg.Seed, id, op.Index, 0)
+			c.Put(ctx, fp, syntheticRecord(op.Index))
+		case OpBatchGet:
+			fps := make([]string, cfg.BatchSize)
+			for j := range fps {
+				fps[j] = popFingerprint(cfg.Seed, (op.Index+uint64(j))%uint64(cfg.Population))
+			}
+			c.GetBatch(ctx, fps)
+		case OpBatchPut:
+			entries := map[string][]byte{}
+			for j := 0; j < cfg.BatchSize; j++ {
+				fp := putFingerprint(cfg.Seed, id, op.Index, uint64(j))
+				data, err := encodedEntry(fp, op.Index+uint64(j))
+				if err != nil {
+					continue
+				}
+				entries[fp] = data
+			}
+			c.PutBatch(ctx, entries)
+		case OpQueue:
+			runQueueLifecycle(ctx, c, worker, op)
+		}
+	}
+}
+
+// runQueueLifecycle exercises the coordinator path: enqueue one spec
+// from the shared finite grid, lease whatever job the coordinator
+// offers (usually someone's enqueue, possibly an expired abandonment),
+// then heartbeat and complete it — unless this lifecycle was planned as
+// an abandonment, in which case the lease is deliberately left to the
+// TTL sweep.
+func runQueueLifecycle(ctx context.Context, c *storenet.Client, worker string, op Op) {
+	c.EnqueueJobs(ctx, []queue.JobSpec{jobSpecAt(op.Index)})
+	lease, _, err := c.LeaseJob(ctx, worker)
+	if err != nil || lease == nil {
+		return
+	}
+	if op.Abandon {
+		return
+	}
+	c.HeartbeatJob(ctx, lease.ID, lease.Token)
+	c.CompleteJob(ctx, lease.ID, lease.Token, worker, "")
+}
+
+// assemble folds the per-client recorders and metrics snapshots into
+// the report document.
+func assemble(cfg Config, elapsed time.Duration, recorders []*recorder, before, after *storenet.MetricsSnapshot) *Report {
+	r := newReport(cfg, elapsed)
+	merged := map[string]*classAcc{}
+	for _, rec := range recorders {
+		for class, acc := range rec.classes {
+			m := merged[class]
+			if m == nil {
+				m = &classAcc{outcomes: map[string]uint64{}}
+				merged[class] = m
+			}
+			m.hist.Merge(&acc.hist)
+			m.errors += acc.errors
+			for outcome, n := range acc.outcomes {
+				m.outcomes[outcome] += n
+			}
+		}
+	}
+	secs := elapsed.Seconds()
+	for class, acc := range merged {
+		stats := &OpStats{
+			Requests:  acc.hist.Count(),
+			Errors:    acc.errors,
+			Outcomes:  acc.outcomes,
+			LatencyMs: latencyOf(&acc.hist),
+		}
+		if secs > 0 {
+			stats.ReqPerSec = float64(stats.Requests) / secs
+		}
+		r.Ops[class] = stats
+		r.Requests += stats.Requests
+		r.Errors += stats.Errors
+	}
+	if secs > 0 {
+		r.ReqPerSec = float64(r.Requests) / secs
+	}
+	if before != nil && after != nil {
+		r.Server = serverDelta(before, after)
+	}
+	return r
+}
+
+// serverDelta diffs the monotonic counters of two snapshots.
+func serverDelta(before, after *storenet.MetricsSnapshot) *ServerDelta {
+	d := &ServerDelta{
+		Hits:       after.Store.Hits - before.Store.Hits,
+		Misses:     after.Store.Misses - before.Store.Misses,
+		Puts:       after.Store.Puts - before.Store.Puts,
+		PutRejects: after.Store.PutRejects - before.Store.PutRejects,
+		BytesIn:    after.Store.BytesIn - before.Store.BytesIn,
+		BytesOut:   after.Store.BytesOut - before.Store.BytesOut,
+	}
+	if before.Queue != nil && after.Queue != nil {
+		d.Enqueues = after.Queue.Enqueued - before.Queue.Enqueued
+		d.Leases = after.Store.Leases - before.Store.Leases
+		d.QueueDone = after.Queue.Done - before.Queue.Done
+		d.QueueExpired = after.Queue.Expired - before.Queue.Expired
+		d.QueueReclaimed = after.Queue.Reclaimed - before.Queue.Reclaimed
+	}
+	return d
+}

@@ -1,0 +1,244 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"branchreorder/internal/bench/store"
+	"branchreorder/internal/bench/storenet"
+	"branchreorder/internal/bench/storenet/queue"
+)
+
+// bootServer runs a full brstored — store plus work queue with a short
+// lease TTL, so abandoned leases actually expire inside the test — on a
+// loopback listener.
+func bootServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := storenet.NewServer(st)
+	srv.AttachQueue(queue.New(200*time.Millisecond, 0))
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+// The end-to-end contract of the subsystem: a short mixed run against a
+// real brstored finishes with zero unexpected errors, non-zero counts
+// for every requested op class, sane latencies, and a server-side
+// counter delta that corroborates the client-side story.
+func TestRunEndToEnd(t *testing.T) {
+	hs := bootServer(t)
+	cfg := Config{
+		URL:        hs.URL,
+		Clients:    4,
+		Duration:   1200 * time.Millisecond,
+		Seed:       7,
+		Abandon:    0.3,
+		Population: 64,
+	}
+	report, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if report.Kind != ReportKind || report.Schema != ReportSchema {
+		t.Errorf("report kind/schema %q/%d", report.Kind, report.Schema)
+	}
+	if report.Errors != 0 {
+		t.Errorf("%d unexpected errors; ops: %+v", report.Errors, report.Ops)
+	}
+	if report.Requests == 0 || report.ReqPerSec <= 0 {
+		t.Fatalf("no throughput recorded: %+v", report)
+	}
+	for _, class := range DefaultMix().Classes() {
+		s := report.Ops[class]
+		if s == nil || s.Requests == 0 {
+			t.Errorf("requested class %q has no operations", class)
+			continue
+		}
+		if s.LatencyMs.P50 <= 0 || s.LatencyMs.P999 < s.LatencyMs.P50 {
+			t.Errorf("class %q latencies implausible: %+v", class, s.LatencyMs)
+		}
+		if s.LatencyMs.Max < s.LatencyMs.Mean {
+			t.Errorf("class %q max below mean: %+v", class, s.LatencyMs)
+		}
+	}
+	if gets := report.Ops["get"]; gets != nil {
+		if gets.Outcomes["hit"] == 0 || gets.Outcomes["miss"] == 0 {
+			t.Errorf("get outcomes missing hits or misses: %v", gets.Outcomes)
+		}
+	}
+
+	if report.Server == nil {
+		t.Fatal("report carries no server counter delta")
+	}
+	if report.Server.Hits <= 0 || report.Server.Misses <= 0 || report.Server.Puts <= 0 {
+		t.Errorf("server delta implausible: %+v", report.Server)
+	}
+	if report.Server.PutRejects != 0 {
+		t.Errorf("server rejected %d uploads — synthetic records failed validation", report.Server.PutRejects)
+	}
+	if report.Server.Enqueues <= 0 || report.Server.QueueDone <= 0 {
+		t.Errorf("queue delta implausible: %+v", report.Server)
+	}
+
+	// The document round-trips through its JSON form.
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != ReportKind || back.Requests != report.Requests || len(back.Ops) != len(report.Ops) {
+		t.Errorf("JSON round trip lost data: %+v", back)
+	}
+}
+
+// With abandonment on and a 200ms TTL, a slightly longer run must show
+// the server expiring leases — the churn path satellite #4 verifies at
+// the queue layer, exercised here over the wire.
+func TestRunExercisesExpiry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs real TTL waits")
+	}
+	hs := bootServer(t)
+	report, err := Run(context.Background(), Config{
+		URL:        hs.URL,
+		Clients:    4,
+		Duration:   1500 * time.Millisecond,
+		Mix:        Mix{Queue: 1},
+		Seed:       3,
+		Abandon:    0.5,
+		Population: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Errorf("%d unexpected errors: %+v", report.Errors, report.Ops["queue"])
+	}
+	if report.Server == nil || report.Server.QueueExpired == 0 {
+		t.Errorf("no leases expired under 50%% abandonment: %+v", report.Server)
+	}
+}
+
+// Run must refuse a missing URL and survive a dead server by reporting
+// errors rather than hanging.
+func TestRunBadConfig(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Error("Run without URL succeeded")
+	}
+	hs := bootServer(t)
+	url := hs.URL
+	hs.Close()
+	if _, err := Run(context.Background(), Config{URL: url, Duration: 100 * time.Millisecond}); err == nil {
+		t.Error("Run against dead server succeeded (seeding should fail)")
+	}
+}
+
+// loadReportFixture builds a plausible report for comparison tests.
+func loadReportFixture() *Report {
+	mk := func(req uint64, rps, p99 float64) *OpStats {
+		return &OpStats{
+			Requests:  req,
+			ReqPerSec: rps,
+			LatencyMs: Latency{P50: p99 / 4, P90: p99 / 2, P99: p99, P999: p99 * 2, Mean: p99 / 3, Max: p99 * 3},
+		}
+	}
+	return &Report{
+		Kind: ReportKind, Schema: ReportSchema,
+		Clients: 8, Seed: 1, Mix: DefaultMix().String(), DurationSec: 10,
+		Requests: 10000, ReqPerSec: 1000,
+		Ops: map[string]*OpStats{
+			"get":   mk(7000, 700, 2),
+			"put":   mk(2000, 200, 5),
+			"batch": mk(500, 50, 20),
+			"queue": mk(500, 50, 4),
+		},
+	}
+}
+
+func TestCompareReportsPasses(t *testing.T) {
+	var out strings.Builder
+	if err := CompareReports(&out, loadReportFixture(), loadReportFixture(), 50); err != nil {
+		t.Fatalf("identical reports regressed: %v\n%s", err, out.String())
+	}
+}
+
+// An injected tail-latency collapse must fail the comparison — the CI
+// regression gate.
+func TestCompareReportsCatchesLatencyRegression(t *testing.T) {
+	bad := loadReportFixture()
+	bad.Ops["get"].LatencyMs.P99 *= 10
+	var out strings.Builder
+	err := CompareReports(&out, loadReportFixture(), bad, 100)
+	if err == nil {
+		t.Fatalf("10× p99 growth passed a 100%% threshold\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "get p99") {
+		t.Errorf("regression error does not name the class: %v", err)
+	}
+}
+
+func TestCompareReportsCatchesThroughputCollapse(t *testing.T) {
+	bad := loadReportFixture()
+	bad.ReqPerSec /= 10
+	bad.Requests /= 10
+	for _, s := range bad.Ops {
+		s.ReqPerSec /= 10
+		s.Requests /= 10
+	}
+	if err := CompareReports(&strings.Builder{}, loadReportFixture(), bad, 50); err == nil {
+		t.Fatal("10× throughput collapse passed a 50% threshold")
+	}
+}
+
+// Throughput is only comparable between equal run shapes; a reshaped
+// run must not be flagged for being smaller.
+func TestCompareReportsIgnoresThroughputAcrossShapes(t *testing.T) {
+	smaller := loadReportFixture()
+	smaller.Clients = 2
+	smaller.ReqPerSec /= 4
+	for _, s := range smaller.Ops {
+		s.ReqPerSec /= 4
+	}
+	var out strings.Builder
+	if err := CompareReports(&out, loadReportFixture(), smaller, 50); err != nil {
+		t.Fatalf("cross-shape throughput flagged: %v", err)
+	}
+	if !strings.Contains(out.String(), "shapes differ") {
+		t.Error("comparison did not note the shape difference")
+	}
+}
+
+// A class present in only one report is informational, not a failure.
+func TestCompareReportsTolleratesMixReshape(t *testing.T) {
+	noQueue := loadReportFixture()
+	delete(noQueue.Ops, "queue")
+	if err := CompareReports(&strings.Builder{}, loadReportFixture(), noQueue, 50); err != nil {
+		t.Fatalf("dropped class flagged: %v", err)
+	}
+	if err := CompareReports(&strings.Builder{}, noQueue, loadReportFixture(), 50); err != nil {
+		t.Fatalf("added class flagged: %v", err)
+	}
+}
+
+// An error-rate explosion fails regardless of latency, because a server
+// answering 500s quickly is not healthy.
+func TestCompareReportsCatchesErrorRate(t *testing.T) {
+	bad := loadReportFixture()
+	bad.Errors = bad.Requests / 2
+	if err := CompareReports(&strings.Builder{}, loadReportFixture(), bad, 50); err == nil {
+		t.Fatal("50% error rate passed")
+	}
+}

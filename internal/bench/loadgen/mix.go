@@ -1,0 +1,122 @@
+package loadgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Mix weighs the four op classes of the generated workload. Weights are
+// relative, not percentages: {Get: 7, Put: 2, Batch: 1, Queue: 1} and
+// {Get: 70, Put: 20, Batch: 10, Queue: 10} draw the same stream. A zero
+// weight disables the class entirely.
+type Mix struct {
+	Get   int `json:"get"`   // single-entry GET on the fingerprint distribution
+	Put   int `json:"put"`   // single-entry PUT of a fresh synthetic record
+	Batch int `json:"batch"` // batched multi-entry get/put (alternating)
+	Queue int `json:"queue"` // full lease lifecycle: enqueue → lease → heartbeat → complete
+}
+
+// DefaultMix is a read-heavy cache-plus-coordinator profile: what a
+// build farm's traffic actually looks like once the pool is warm.
+func DefaultMix() Mix { return Mix{Get: 70, Put: 20, Batch: 5, Queue: 5} }
+
+// classNames is the canonical op-class order, everywhere a mix or a
+// report enumerates classes.
+var classNames = []string{"get", "put", "batch", "queue"}
+
+// ParseMix parses the -mix flag syntax: comma-separated class=weight
+// pairs, e.g. "get=70,put=20,batch=5,queue=5". Omitted classes weigh
+// zero; at least one class must be positive; repeating a class,
+// negative weights, and unknown classes are errors.
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	if strings.TrimSpace(s) == "" {
+		return m, fmt.Errorf("loadgen: empty mix")
+	}
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return m, fmt.Errorf("loadgen: empty mix component in %q", s)
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("loadgen: mix component %q is not class=weight", part)
+		}
+		name = strings.TrimSpace(name)
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil {
+			return m, fmt.Errorf("loadgen: mix weight in %q: %v", part, err)
+		}
+		if w < 0 {
+			return m, fmt.Errorf("loadgen: negative mix weight in %q", part)
+		}
+		if seen[name] {
+			return m, fmt.Errorf("loadgen: class %q repeated in mix %q", name, s)
+		}
+		seen[name] = true
+		switch name {
+		case "get":
+			m.Get = w
+		case "put":
+			m.Put = w
+		case "batch":
+			m.Batch = w
+		case "queue":
+			m.Queue = w
+		default:
+			return m, fmt.Errorf("loadgen: unknown op class %q (valid: %s)",
+				name, strings.Join(classNames, ", "))
+		}
+	}
+	if m.Total() == 0 {
+		return m, fmt.Errorf("loadgen: mix %q has no positive weight", s)
+	}
+	return m, nil
+}
+
+// Total is the sum of the weights.
+func (m Mix) Total() int { return m.Get + m.Put + m.Batch + m.Queue }
+
+// weight returns the class's weight by canonical name.
+func (m Mix) weight(class string) int {
+	switch class {
+	case "get":
+		return m.Get
+	case "put":
+		return m.Put
+	case "batch":
+		return m.Batch
+	case "queue":
+		return m.Queue
+	}
+	return 0
+}
+
+// Classes lists the requested (positive-weight) op classes in canonical
+// order — what a report must have non-zero counts for.
+func (m Mix) Classes() []string {
+	var out []string
+	for _, c := range classNames {
+		if m.weight(c) > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders the mix in the -mix flag syntax, canonical order,
+// zero-weight classes omitted.
+func (m Mix) String() string {
+	var parts []string
+	for _, c := range classNames {
+		if w := m.weight(c); w > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", c, w))
+		}
+	}
+	if len(parts) == 0 {
+		return "(empty)"
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,217 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ReportKind tags a load report's JSON document so brperf -compare can
+// tell it from a benchmark document.
+const ReportKind = "load"
+
+// ReportSchema versions the report format.
+const ReportSchema = 1
+
+// Latency is one op class's latency profile in milliseconds. Quantiles
+// are bucket upper edges (conservative, ≤19% high — see Histogram);
+// Mean and Max are exact.
+type Latency struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// OpStats is one op class's outcome in the report.
+type OpStats struct {
+	Requests  uint64            `json:"requests"`
+	Errors    uint64            `json:"errors"` // failures and fallbacks; expected misses/conflicts are outcomes, not errors
+	ReqPerSec float64           `json:"reqPerSec"`
+	Outcomes  map[string]uint64 `json:"outcomes,omitempty"`
+	LatencyMs Latency           `json:"latencyMs"`
+}
+
+// ServerDelta is the growth of the server's own counters over the run,
+// diffed from /metrics.json snapshots taken before and after — the
+// server-side cross-check of what the clients claim they did. Only
+// monotonic counters appear; gauges like queue depth have no meaningful
+// delta.
+type ServerDelta struct {
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	Puts           int64 `json:"puts"`
+	PutRejects     int64 `json:"putRejects"`
+	BytesIn        int64 `json:"bytesIn"`
+	BytesOut       int64 `json:"bytesOut"`
+	Enqueues       int64 `json:"enqueues,omitempty"`
+	Leases         int64 `json:"leases,omitempty"`
+	QueueDone      int64 `json:"queueDone,omitempty"`
+	QueueExpired   int64 `json:"queueExpired,omitempty"`
+	QueueReclaimed int64 `json:"queueReclaimed,omitempty"`
+}
+
+// Report is one load run's result document — the LOAD_baseline.json
+// format, sibling to brperf's benchmark document.
+type Report struct {
+	Kind      string `json:"kind"`
+	Schema    int    `json:"schema"`
+	GoVersion string `json:"goVersion"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+
+	Clients     int     `json:"clients"`
+	Seed        uint64  `json:"seed"`
+	Mix         string  `json:"mix"` // canonical ParseMix syntax
+	Abandon     float64 `json:"abandon,omitempty"`
+	DurationSec float64 `json:"durationSeconds"`
+
+	Requests  uint64              `json:"requests"`
+	Errors    uint64              `json:"errors"`
+	ReqPerSec float64             `json:"reqPerSec"`
+	Ops       map[string]*OpStats `json:"ops"`
+	Server    *ServerDelta        `json:"server,omitempty"`
+}
+
+// newReport assembles the document header.
+func newReport(cfg Config, elapsed time.Duration) *Report {
+	return &Report{
+		Kind:        ReportKind,
+		Schema:      ReportSchema,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Clients:     cfg.Clients,
+		Seed:        cfg.Seed,
+		Mix:         cfg.Mix.String(),
+		Abandon:     cfg.Abandon,
+		DurationSec: elapsed.Seconds(),
+		Ops:         map[string]*OpStats{},
+	}
+}
+
+// WriteJSON renders the report, indented, trailing newline.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}
+
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// latencyOf summarizes a histogram.
+func latencyOf(h *Histogram) Latency {
+	return Latency{
+		P50:  ms(h.Quantile(0.50)),
+		P90:  ms(h.Quantile(0.90)),
+		P99:  ms(h.Quantile(0.99)),
+		P999: ms(h.Quantile(0.999)),
+		Mean: ms(h.Mean()),
+		Max:  ms(h.Max()),
+	}
+}
+
+// errorRate is errors over requests, 0 for an empty class.
+func errorRate(errors, requests uint64) float64 {
+	if requests == 0 {
+		return 0
+	}
+	return float64(errors) / float64(requests)
+}
+
+// maxErrorRate is the error-rate ceiling CompareReports enforces
+// regardless of threshold: tail latencies mean nothing if the server
+// answered a meaningful slice of the traffic with failures.
+const maxErrorRate = 0.05
+
+// CompareReports prints per-class deltas between two load reports and
+// returns an error — a nonzero brperf exit — when new regressed:
+//
+//   - throughput (global and per shared class) fell by more than
+//     threshold percent (compared only when clients and mix match;
+//     different configs make req/s incomparable and are noted instead);
+//   - a shared class's p99 or p99.9 grew by more than threshold percent;
+//   - the global error rate exceeds 5% where old was at or under it.
+//
+// Classes present in only one report are listed but never count as
+// regressions, so reshaping the mix does not break CI. The threshold is
+// shared with benchmark comparison and deliberately generous in CI:
+// this gate catches collapses, not nanoseconds.
+func CompareReports(w io.Writer, oldR, newR *Report, threshold float64) error {
+	var regressed []string
+	sameShape := oldR.Clients == newR.Clients && oldR.Mix == newR.Mix
+	if !sameShape {
+		fmt.Fprintf(w, "note: run shapes differ (old %d clients, mix %s; new %d clients, mix %s); throughput not compared\n",
+			oldR.Clients, oldR.Mix, newR.Clients, newR.Mix)
+	}
+
+	slower := func(class, metric string, oldV, newV float64) {
+		if oldV > 0 && newV > oldV*(1+threshold/100) {
+			regressed = append(regressed, fmt.Sprintf("%s %s +%.0f%%", class, metric, 100*(newV/oldV-1)))
+		}
+	}
+	fewer := func(class string, oldV, newV float64) {
+		if sameShape && oldV > 0 && newV < oldV*(1-threshold/100) {
+			regressed = append(regressed, fmt.Sprintf("%s req/s %.0f%%", class, 100*(newV/oldV-1)))
+		}
+	}
+
+	fmt.Fprintf(w, "%-10s %12s %12s %10s %10s %10s %10s\n",
+		"class", "old req/s", "new req/s", "old p99", "new p99", "old p99.9", "new p99.9")
+	fmt.Fprintf(w, "%-10s %12.0f %12.0f %10s %10s %10s %10s\n",
+		"(all)", oldR.ReqPerSec, newR.ReqPerSec, "-", "-", "-", "-")
+	fewer("overall", oldR.ReqPerSec, newR.ReqPerSec)
+
+	names := make([]string, 0, len(oldR.Ops)+len(newR.Ops))
+	for name := range oldR.Ops {
+		names = append(names, name)
+	}
+	for name := range newR.Ops {
+		if _, ok := oldR.Ops[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o, okOld := oldR.Ops[name]
+		n, okNew := newR.Ops[name]
+		switch {
+		case !okOld:
+			fmt.Fprintf(w, "%-10s %12s %12.0f %10s %9.2fms %10s %9.2fms  (new)\n",
+				name, "-", n.ReqPerSec, "-", n.LatencyMs.P99, "-", n.LatencyMs.P999)
+		case !okNew:
+			fmt.Fprintf(w, "%-10s %12.0f %12s %9.2fms %10s %9.2fms %10s  (gone)\n",
+				name, o.ReqPerSec, "-", o.LatencyMs.P99, "-", o.LatencyMs.P999, "-")
+		default:
+			fmt.Fprintf(w, "%-10s %12.0f %12.0f %9.2fms %9.2fms %9.2fms %9.2fms\n",
+				name, o.ReqPerSec, n.ReqPerSec,
+				o.LatencyMs.P99, n.LatencyMs.P99, o.LatencyMs.P999, n.LatencyMs.P999)
+			fewer(name, o.ReqPerSec, n.ReqPerSec)
+			slower(name, "p99", o.LatencyMs.P99, n.LatencyMs.P99)
+			slower(name, "p99.9", o.LatencyMs.P999, n.LatencyMs.P999)
+		}
+	}
+
+	oldRate := errorRate(oldR.Errors, oldR.Requests)
+	newRate := errorRate(newR.Errors, newR.Requests)
+	fmt.Fprintf(w, "errors: old %.2f%% new %.2f%%\n", 100*oldRate, 100*newRate)
+	if newRate > maxErrorRate && oldRate <= maxErrorRate {
+		regressed = append(regressed, fmt.Sprintf("error rate %.1f%%", 100*newRate))
+	}
+
+	if len(regressed) > 0 {
+		return fmt.Errorf("load regressed beyond %.0f%%: %s", threshold, strings.Join(regressed, ", "))
+	}
+	return nil
+}

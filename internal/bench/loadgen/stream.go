@@ -1,0 +1,260 @@
+package loadgen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"branchreorder/internal/bench/store"
+	"branchreorder/internal/bench/storenet/queue"
+	"branchreorder/internal/core"
+	"branchreorder/internal/interp"
+	"branchreorder/internal/lower"
+	"branchreorder/internal/pipeline"
+	"branchreorder/internal/workload"
+)
+
+// rng is a splitmix64 generator: tiny, fast, and — unlike math/rand's
+// global state — fully determined by its seed, which is what makes a
+// load run replayable: same -seed, same op stream per client, byte for
+// byte.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// intn returns a uniform integer in [0, n). The modulo bias is far
+// below anything a load distribution can notice.
+func (r *rng) intn(n uint64) uint64 { return r.next() % n }
+
+// OpKind is one planned operation's class.
+type OpKind int
+
+const (
+	OpGet      OpKind = iota // single-entry fetch
+	OpPut                    // single-entry upload
+	OpBatchGet               // batched multi-entry fetch
+	OpBatchPut               // batched multi-entry upload
+	OpQueue                  // full lease lifecycle
+)
+
+// Class maps the op kind onto the report's op classes (both batch
+// directions report as "batch").
+func (k OpKind) Class() string {
+	switch k {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpBatchGet, OpBatchPut:
+		return "batch"
+	case OpQueue:
+		return "queue"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op is one planned operation. Index is a population index for hot/cold
+// gets and a per-stream uniqueness counter for everything that creates
+// state (puts, batch puts, queue specs); Miss marks a get aimed at a
+// fingerprint that was never stored; Abandon marks a queue lifecycle
+// that leases and then walks away, so the server's TTL expiry sweep has
+// something to do.
+type Op struct {
+	Kind    OpKind
+	Index   uint64
+	Miss    bool
+	Abandon bool
+}
+
+// Stream plans one client's operations: a deterministic function of
+// (seed, client), independent of timing, server behaviour, and every
+// other client. Replaying a seed replays the exact op sequence — the
+// property the determinism tests pin and the property that makes two
+// load runs comparable.
+type Stream struct {
+	rng        rng
+	mix        Mix
+	total      uint64
+	population uint64
+	hot        uint64
+	missFrac   float64
+	abandon    float64
+	seq        uint64
+}
+
+// hotFraction and hotWeight shape the fingerprint distribution: the
+// first hotFraction of the population receives hotWeight of the non-miss
+// GET traffic — the classic skewed cache profile (a small working set
+// plus a long uniform tail) rather than a flat scan no cache ever sees.
+const (
+	hotFraction = 0.125
+	hotWeight   = 0.8
+)
+
+// NewStream returns client's op stream for seed. population is the
+// number of pre-seeded entries GETs draw from; missFrac is the fraction
+// of GETs aimed at never-stored fingerprints; abandon is the fraction
+// of queue lifecycles that walk away after leasing.
+func NewStream(seed uint64, client int, mix Mix, population int, missFrac, abandon float64) *Stream {
+	if population < 1 {
+		population = 1
+	}
+	hot := uint64(float64(population) * hotFraction)
+	if hot < 1 {
+		hot = 1
+	}
+	s := &Stream{
+		// Scramble the (seed, client) pair through the mixer so streams
+		// for adjacent seeds or clients share nothing.
+		rng:        rng{state: seed ^ (uint64(client)+1)*0xA24BAED4963EE407},
+		mix:        mix,
+		total:      uint64(mix.Total()),
+		population: uint64(population),
+		hot:        hot,
+		missFrac:   missFrac,
+		abandon:    abandon,
+	}
+	for i := 0; i < 4; i++ {
+		s.rng.next()
+	}
+	return s
+}
+
+// Next plans the next operation.
+func (s *Stream) Next() Op {
+	s.seq++
+	pick := s.rng.intn(s.total)
+	switch {
+	case pick < uint64(s.mix.Get):
+		if s.rng.float() < s.missFrac {
+			return Op{Kind: OpGet, Index: s.seq, Miss: true}
+		}
+		return Op{Kind: OpGet, Index: s.pickEntry()}
+	case pick < uint64(s.mix.Get+s.mix.Put):
+		return Op{Kind: OpPut, Index: s.seq}
+	case pick < uint64(s.mix.Get+s.mix.Put+s.mix.Batch):
+		// Batches alternate direction by a dedicated draw so the ratio
+		// stays 50/50 regardless of what else the stream planned.
+		if s.rng.next()&1 == 0 {
+			return Op{Kind: OpBatchGet, Index: s.pickEntry()}
+		}
+		return Op{Kind: OpBatchPut, Index: s.seq}
+	default:
+		return Op{Kind: OpQueue, Index: s.seq, Abandon: s.rng.float() < s.abandon}
+	}
+}
+
+// pickEntry draws a population index with hot-set skew.
+func (s *Stream) pickEntry() uint64 {
+	if s.population <= s.hot || s.rng.float() < hotWeight {
+		return s.rng.intn(s.hot)
+	}
+	return s.hot + s.rng.intn(s.population-s.hot)
+}
+
+// fingerprintOf derives a valid store key (lowercase SHA-256 hex) from a
+// namespaced description. Everything loadgen stores is keyed this way,
+// so a run's traffic can never collide with real build entries — the
+// hash input vocabulary is disjoint from store.Fingerprint's.
+func fingerprintOf(format string, args ...interface{}) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("loadgen "+format, args...)))
+	return hex.EncodeToString(sum[:])
+}
+
+// popFingerprint is population entry i's key. All clients of one run
+// share the population, so only the run seed and the index feed it.
+func popFingerprint(seed, i uint64) string {
+	return fingerprintOf("pop seed=%d i=%d", seed, i)
+}
+
+// missFingerprint is a key no run ever stores: the cold-miss side of the
+// GET distribution.
+func missFingerprint(seed uint64, client int, i uint64) string {
+	return fingerprintOf("miss seed=%d client=%d i=%d", seed, client, i)
+}
+
+// putFingerprint is a fresh key for one uploaded entry. (client, i, j)
+// is unique per run — i is the per-stream op counter, j the position
+// within a batch — so PUTs always exercise the write path, never the
+// idempotent-overwrite one.
+func putFingerprint(seed uint64, client int, i, j uint64) string {
+	return fingerprintOf("put seed=%d client=%d i=%d j=%d", seed, client, i, j)
+}
+
+// syntheticRecord builds a valid build record whose content varies with
+// i. It must survive the server's full upload validation — schema,
+// checksum, record shape — because loadgen measures the production
+// trust boundary, not a bypass; the "loadgen" workload name keeps the
+// traffic recognizable in a shared pool.
+func syntheticRecord(i uint64) *store.Record {
+	out := []byte(fmt.Sprintf("loadgen entry %d\n", i))
+	// Pad the payload toward ~1KB encoded so wire and disk costs resemble
+	// a real (if small) result entry rather than an empty envelope.
+	pad := make([]byte, 256)
+	for j := range pad {
+		pad[j] = byte(i + uint64(j)*31)
+	}
+	return &store.Record{
+		Workload: "loadgen",
+		Set:      int(lower.SetI),
+		Opts:     pipeline.Options{Switch: lower.SetI, Optimize: true},
+		Base: &store.Measurement{
+			Stats:  interp.Stats{Insts: i%100000 + 1000, CondBranches: i % 997},
+			Output: append(out, pad...),
+		},
+		Reord: &store.Measurement{
+			Stats:  interp.Stats{Insts: i%100000 + 900, CondBranches: i % 991},
+			Output: append([]byte{}, out...),
+		},
+		StaticBase:  int64(i % 512),
+		StaticReord: int64(i % 480),
+		Seqs:        []store.SeqStat{{Applied: i%2 == 0, OrigBranches: int(i%7) + 2, NewBranches: int(i % 7)}},
+	}
+}
+
+// encodedEntry is population/put entry i serialized under fp, ready for
+// the single or batch PUT path.
+func encodedEntry(fp string, i uint64) ([]byte, error) {
+	return store.Encode(fp, syntheticRecord(i))
+}
+
+// rosterNames is the workload roster, fixed at init: queue job specs
+// must name workloads the coordinator's enqueue validation knows.
+var rosterNames = func() []string {
+	all := workload.All()
+	names := make([]string, len(all))
+	for i, w := range all {
+		names[i] = w.Name
+	}
+	return names
+}()
+
+// jobSpecAt maps a stream index onto the finite (workload × options)
+// spec space — 8 transform/common-successor combinations × 3 heuristic
+// sets × the roster. Clients deliberately share this space: concurrent
+// enqueues of the same spec exercise the coordinator's idempotency
+// exactly the way a resumed farm does.
+func jobSpecAt(i uint64) queue.JobSpec {
+	sets := [...]lower.HeuristicSet{lower.SetI, lower.SetII, lower.SetIII}
+	return queue.JobSpec{
+		Workload: rosterNames[(i/24)%uint64(len(rosterNames))],
+		Opts: pipeline.Options{
+			Switch:          sets[(i/8)%3],
+			Optimize:        true,
+			CommonSuccessor: i&1 != 0,
+			Transform: core.TransformOptions{
+				NoBoundOrder: i&2 != 0,
+				NoCmpReuse:   i&4 != 0,
+			},
+		},
+	}
+}

@@ -1,0 +1,194 @@
+package loadgen
+
+import (
+	"regexp"
+	"testing"
+
+	"branchreorder/internal/bench/store"
+	"branchreorder/internal/lower"
+	"branchreorder/internal/workload"
+)
+
+// drawOps plans n operations from a fresh stream.
+func drawOps(seed uint64, client int, mix Mix, n int) []Op {
+	s := NewStream(seed, client, mix, 256, 0.1, 0.2)
+	out := make([]Op, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+// The determinism contract behind -seed: the op stream is a pure
+// function of (seed, client).
+func TestStreamDeterministic(t *testing.T) {
+	a := drawOps(42, 3, DefaultMix(), 5000)
+	b := drawOps(42, 3, DefaultMix(), 5000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs on replay: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// Different seeds and different clients must draw different streams —
+// otherwise "8 clients" is one client with an echo.
+func TestStreamsIndependent(t *testing.T) {
+	same := func(a, b []Op) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	base := drawOps(42, 3, DefaultMix(), 200)
+	if same(base, drawOps(42, 4, DefaultMix(), 200)) {
+		t.Error("clients 3 and 4 drew identical streams")
+	}
+	if same(base, drawOps(43, 3, DefaultMix(), 200)) {
+		t.Error("seeds 42 and 43 drew identical streams")
+	}
+}
+
+// The planned stream must honor the mix weights, the miss fraction and
+// the abandon fraction within sampling noise.
+func TestStreamHonorsMix(t *testing.T) {
+	const n = 100000
+	mix := DefaultMix()
+	counts := map[string]int{}
+	misses, gets, abandons, queues := 0, 0, 0, 0
+	s := NewStream(7, 0, mix, 256, 0.1, 0.25)
+	for i := 0; i < n; i++ {
+		op := s.Next()
+		counts[op.Kind.Class()]++
+		if op.Kind == OpGet {
+			gets++
+			if op.Miss {
+				misses++
+			}
+		}
+		if op.Kind == OpQueue {
+			queues++
+			if op.Abandon {
+				abandons++
+			}
+		}
+	}
+	for _, class := range mix.Classes() {
+		want := float64(n) * float64(mix.weight(class)) / float64(mix.Total())
+		got := float64(counts[class])
+		if got < want*0.9 || got > want*1.1 {
+			t.Errorf("class %s: %d ops, want ≈%.0f", class, counts[class], want)
+		}
+	}
+	if frac := float64(misses) / float64(gets); frac < 0.08 || frac > 0.12 {
+		t.Errorf("miss fraction %.3f, want ≈0.1", frac)
+	}
+	if frac := float64(abandons) / float64(queues); frac < 0.2 || frac > 0.3 {
+		t.Errorf("abandon fraction %.3f, want ≈0.25", frac)
+	}
+}
+
+// A zero-weight class must never be planned.
+func TestStreamSkipsDisabledClasses(t *testing.T) {
+	for _, op := range drawOps(9, 0, Mix{Get: 1, Queue: 1}, 10000) {
+		if c := op.Kind.Class(); c != "get" && c != "queue" {
+			t.Fatalf("zero-weight class %s was planned", c)
+		}
+	}
+}
+
+// GET indices must show the configured hot-set skew: the first 12.5% of
+// the population takes ~80% of the non-miss traffic.
+func TestStreamHotSetSkew(t *testing.T) {
+	const population = 256
+	s := NewStream(11, 0, Mix{Get: 1}, population, 0, 0)
+	hot, total := 0, 0
+	for i := 0; i < 50000; i++ {
+		op := s.Next()
+		if op.Index >= population {
+			t.Fatalf("index %d beyond population %d", op.Index, population)
+		}
+		total++
+		if op.Index < population/8 {
+			hot++
+		}
+	}
+	if frac := float64(hot) / float64(total); frac < 0.75 || frac > 0.90 {
+		t.Errorf("hot-set fraction %.3f, want ≈0.8+", frac)
+	}
+}
+
+var fpPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// Every generated fingerprint must be a valid store key, stable across
+// calls, and the three namespaces must never collide.
+func TestFingerprints(t *testing.T) {
+	seen := map[string]string{}
+	check := func(kind, fp string) {
+		if !fpPattern.MatchString(fp) {
+			t.Fatalf("%s fingerprint %q is not a store key", kind, fp)
+		}
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("fingerprint collision between %s and %s", prev, kind)
+		}
+		seen[fp] = kind
+	}
+	for i := uint64(0); i < 50; i++ {
+		check("pop", popFingerprint(1, i))
+		check("miss", missFingerprint(1, 0, i))
+		check("put", putFingerprint(1, 0, i, 0))
+		check("put-batch", putFingerprint(1, 0, i, 1))
+	}
+	if popFingerprint(1, 7) != popFingerprint(1, 7) {
+		t.Error("popFingerprint not stable")
+	}
+	if popFingerprint(1, 7) == popFingerprint(2, 7) {
+		t.Error("popFingerprint ignores seed")
+	}
+}
+
+// Synthetic entries must survive the server's real upload validation:
+// decode, checksum, record shape.
+func TestSyntheticRecordValid(t *testing.T) {
+	for i := uint64(0); i < 10; i++ {
+		fp := popFingerprint(3, i)
+		data, err := encodedEntry(fp, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := store.Decode(data, fp)
+		if err != nil {
+			t.Fatalf("entry %d fails validation: %v", i, err)
+		}
+		if rec.Workload != "loadgen" {
+			t.Errorf("entry %d workload %q", i, rec.Workload)
+		}
+	}
+}
+
+// Queue specs must draw from the real roster with valid heuristic sets,
+// and the space must be finite but non-trivial so concurrent clients
+// both collide (idempotent enqueue) and spread (several distinct jobs).
+func TestJobSpecSpace(t *testing.T) {
+	ids := map[string]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		spec := jobSpecAt(i)
+		if _, ok := workload.Named(spec.Workload); !ok {
+			t.Fatalf("spec %d names unknown workload %q", i, spec.Workload)
+		}
+		switch spec.Opts.Switch {
+		case lower.SetI, lower.SetII, lower.SetIII:
+		default:
+			t.Fatalf("spec %d has invalid heuristic set %v", i, spec.Opts.Switch)
+		}
+		ids[spec.ID()] = true
+	}
+	if len(ids) < 10 {
+		t.Errorf("only %d distinct specs in 1000 draws", len(ids))
+	}
+	if jobSpecAt(5).ID() != jobSpecAt(5).ID() {
+		t.Error("jobSpecAt not stable")
+	}
+}

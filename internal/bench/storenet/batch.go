@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"time"
 
 	"branchreorder/internal/bench/store"
 )
@@ -155,10 +156,13 @@ func (s *Server) readBatchBody(w http.ResponseWriter, r *http.Request, dst inter
 // outcome) via the error, and the caller's per-fingerprint tiers still
 // work.
 func (c *Client) GetBatch(ctx context.Context, fps []string) (map[string][]byte, error) {
+	start := time.Now()
 	var resp BatchGetResponse
 	if err := c.postJSON(ctx, "/v1/batch/get", BatchGetRequest{Fingerprints: fps}, &resp, true); err != nil {
+		c.observeErr("batch-get", start, err)
 		return nil, err
 	}
+	c.observeErr("batch-get", start, nil)
 	out := make(map[string][]byte, len(resp.Entries))
 	for _, ent := range resp.Entries {
 		out[ent.Fingerprint] = []byte(ent.Data)
@@ -185,8 +189,11 @@ func (c *Client) PutBatch(ctx context.Context, entries map[string][]byte) (store
 		req.Entries = append(req.Entries, BatchEntry{Fingerprint: fp, Data: json.RawMessage(data)})
 	}
 	var resp BatchPutResponse
+	start := time.Now()
 	if err := c.postJSON(ctx, "/v1/batch/put", req, &resp, true); err != nil {
+		c.observeErr("batch-put", start, err)
 		return 0, nil, err
 	}
+	c.observeErr("batch-put", start, nil)
 	return resp.Stored, resp.Rejected, nil
 }

@@ -45,6 +45,23 @@ func (o Outcome) String() string {
 // ErrUnavailable is returned by Put once the breaker has tripped.
 var ErrUnavailable = errors.New("storenet: remote store disabled after repeated failures")
 
+// Observation describes one finished client operation, as delivered to
+// the ClientConfig.Observer hook. Op is the operation class: "get",
+// "put" or "head" for single entries, "batch-get"/"batch-put" for the
+// batch API, "enqueue"/"lease"/"heartbeat"/"complete"/"status" for the
+// work-queue protocol, and "metrics" for counter snapshots. Duration
+// covers the whole operation as the caller experienced it — retries,
+// backoff and single-flight waits included — because that is the
+// latency the production path pays. Outcome is "hit", "miss" or
+// "fallback" for entry fetches and "ok" or "error" for everything else;
+// Err carries the error when Outcome is "error".
+type Observation struct {
+	Op       string
+	Duration time.Duration
+	Outcome  string
+	Err      error
+}
+
 // ClientConfig tunes a Client. The zero value means defaults.
 type ClientConfig struct {
 	// Timeout bounds each individual HTTP request, not the whole retry
@@ -66,6 +83,12 @@ type ClientConfig struct {
 	// Logf receives the client's degradation notices — at most two per
 	// run (first failure, breaker trip). Nil discards them.
 	Logf func(format string, args ...interface{})
+	// Observer, when non-nil, receives one Observation per finished
+	// client operation — how brperf -server measures the serving path
+	// through the production client rather than a parallel HTTP stack.
+	// It must be safe for concurrent calls and cheap (it runs inline on
+	// the request path). Nil means no observation and no overhead.
+	Observer func(Observation)
 }
 
 // Client fetches and uploads store entries from a brstored server. It
@@ -80,6 +103,7 @@ type Client struct {
 	maxBackoff  time.Duration
 	breakerAt   int
 	logf        func(format string, args ...interface{})
+	observer    func(Observation)
 
 	mu       sync.Mutex
 	inflight map[string]*flight
@@ -131,8 +155,31 @@ func NewClient(baseURL string, cfg ClientConfig) (*Client, error) {
 		maxBackoff:  cfg.MaxBackoff,
 		breakerAt:   cfg.BreakerThreshold,
 		logf:        logf,
+		observer:    cfg.Observer,
 		inflight:    map[string]*flight{},
 	}, nil
+}
+
+// observe delivers one finished operation to the observer hook, if any.
+// outcomeErr maps a nil error to "ok" and anything else to "error"; the
+// entry-fetch paths pass their Outcome string instead.
+func (c *Client) observe(op string, start time.Time, outcome string, err error) {
+	if c.observer == nil {
+		return
+	}
+	c.observer(Observation{Op: op, Duration: time.Since(start), Outcome: outcome, Err: err})
+}
+
+// observeErr is observe for operations whose result is just an error.
+func (c *Client) observeErr(op string, start time.Time, err error) {
+	if c.observer == nil {
+		return
+	}
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	c.observer(Observation{Op: op, Duration: time.Since(start), Outcome: outcome, Err: err})
 }
 
 // BaseURL reports the server the client talks to.
@@ -172,8 +219,17 @@ func (c *Client) GetProfile(ctx context.Context, fp string) (*store.ProfileRecor
 }
 
 // getRaw fetches the raw entry bytes for fp, deduplicating concurrent
-// requests for the same fingerprint.
+// requests for the same fingerprint. Every fetch — including a
+// single-flight follower's wait and a breaker-tripped instant fallback —
+// is one observed "get" operation.
 func (c *Client) getRaw(ctx context.Context, fp string) ([]byte, Outcome) {
+	start := time.Now()
+	data, out := c.getRawShared(ctx, fp)
+	c.observe("get", start, out.String(), nil)
+	return data, out
+}
+
+func (c *Client) getRawShared(ctx context.Context, fp string) ([]byte, Outcome) {
 	c.mu.Lock()
 	if c.tripped {
 		c.mu.Unlock()
@@ -271,6 +327,13 @@ func (c *Client) PutProfile(ctx context.Context, fp string, rec *store.ProfileRe
 }
 
 func (c *Client) put(ctx context.Context, fp string, data []byte) error {
+	start := time.Now()
+	err := c.putRetry(ctx, fp, data)
+	c.observeErr("put", start, err)
+	return err
+}
+
+func (c *Client) putRetry(ctx context.Context, fp string, data []byte) error {
 	c.mu.Lock()
 	tripped := c.tripped
 	c.mu.Unlock()
@@ -330,6 +393,13 @@ func (c *Client) put(ctx context.Context, fp string, data []byte) error {
 // Head reports whether the server has an entry for fp, with the same
 // retry policy as Get.
 func (c *Client) Head(ctx context.Context, fp string) (bool, error) {
+	start := time.Now()
+	ok, err := c.headRetry(ctx, fp)
+	c.observeErr("head", start, err)
+	return ok, err
+}
+
+func (c *Client) headRetry(ctx context.Context, fp string) (bool, error) {
 	c.mu.Lock()
 	tripped := c.tripped
 	c.mu.Unlock()

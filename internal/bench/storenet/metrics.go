@@ -1,0 +1,47 @@
+package storenet
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"branchreorder/internal/bench/storenet/queue"
+)
+
+// MetricsSnapshot is the structured form of the /metrics page: the same
+// counters the plaintext rendering prints, as one JSON document. Served
+// at GET /metrics.json (and /metrics?format=json); the plaintext
+// /metrics output stays byte-stable for everything that greps it.
+type MetricsSnapshot struct {
+	Store ServerStats   `json:"store"`
+	Queue *queue.Counts `json:"queue,omitempty"` // nil for a plain cache server
+}
+
+// handleMetricsJSON serves the counter snapshot structurally — how the
+// load generator diffs server-side counters before and after a run
+// without parsing the plaintext format.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	snap := MetricsSnapshot{Store: s.Stats()}
+	if s.queue != nil {
+		counts := s.queue.Counts()
+		snap.Queue = &counts
+	}
+	writeJSON(w, snap)
+}
+
+// Metrics fetches the server's counter snapshot from /metrics.json with
+// the client's usual retry policy (no breaker: a metrics probe must not
+// disable the cache path, and a tripped breaker must not hide the
+// server's counters).
+func (c *Client) Metrics(ctx context.Context) (*MetricsSnapshot, error) {
+	start := time.Now()
+	var snap MetricsSnapshot
+	err := c.doJSON(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics.json", nil)
+	}, &snap, false)
+	c.observeErr("metrics", start, err)
+	if err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}

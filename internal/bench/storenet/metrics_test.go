@@ -1,0 +1,239 @@
+package storenet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"branchreorder/internal/bench/store"
+	"branchreorder/internal/bench/storenet/queue"
+	"branchreorder/internal/lower"
+	"branchreorder/internal/pipeline"
+)
+
+// spec is one enqueueable job over a roster workload.
+func spec(w string, set lower.HeuristicSet) queue.JobSpec {
+	return queue.JobSpec{Workload: w, Opts: pipeline.Options{Switch: set, Optimize: true}}
+}
+
+// newQueueTestServer is newTestServer with a work queue attached, so the
+// snapshot grows the queue section.
+func newQueueTestServer(t *testing.T, ttl time.Duration) (*Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(st)
+	srv.AttachQueue(queue.New(ttl, 0))
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+// The JSON metrics variant must carry the same counters the plaintext
+// page renders — structurally, through both the path and the query-param
+// spelling — while the plaintext output stays byte-stable.
+func TestMetricsJSONSnapshot(t *testing.T) {
+	ctx := context.Background()
+	_, hs := newQueueTestServer(t, time.Minute)
+	c := testClient(t, hs.URL, ClientConfig{})
+
+	fp := testFingerprint("metrics-json")
+	if err := c.Put(ctx, fp, testRecord()); err != nil {
+		t.Fatal(err)
+	}
+	if _, out := c.Get(ctx, fp); out != Hit {
+		t.Fatalf("get after put: %v", out)
+	}
+	if _, out := c.Get(ctx, testFingerprint("absent")); out != Miss {
+		t.Fatalf("get absent: %v", out)
+	}
+	if _, err := c.EnqueueJobs(ctx, []queue.JobSpec{spec("wc", lower.SetI)}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Store.Puts != 1 || snap.Store.Hits != 1 || snap.Store.Misses != 1 {
+		t.Errorf("store counters: %+v", snap.Store)
+	}
+	if snap.Queue == nil || snap.Queue.Pending != 1 || snap.Queue.Enqueued != 1 {
+		t.Errorf("queue counters: %+v", snap.Queue)
+	}
+
+	// The query-param spelling answers identically.
+	resp, err := http.Get(hs.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("?format=json Content-Type %q", ct)
+	}
+	if !strings.Contains(string(body), `"store"`) || !strings.Contains(string(body), `"queue"`) {
+		t.Errorf("?format=json body missing sections:\n%s", body)
+	}
+
+	// Plaintext stays plaintext, byte-stable format.
+	resp, err = http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"brstored_hits 1\n", "brstored_misses 1\n", "brstored_puts 1\n",
+		"brstored_queue_depth 1\n",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("plaintext metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// A plain cache server's snapshot must omit the queue section entirely.
+func TestMetricsJSONWithoutQueue(t *testing.T) {
+	_, hs := newTestServer(t)
+	c := testClient(t, hs.URL, ClientConfig{})
+	snap, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Queue != nil {
+		t.Errorf("plain cache server reported queue counters: %+v", snap.Queue)
+	}
+}
+
+// obsLog collects observations concurrently-safely.
+type obsLog struct {
+	mu  sync.Mutex
+	obs []Observation
+}
+
+func (l *obsLog) add(o Observation) {
+	l.mu.Lock()
+	l.obs = append(l.obs, o)
+	l.mu.Unlock()
+}
+
+func (l *obsLog) byOp() map[string][]Observation {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := map[string][]Observation{}
+	for _, o := range l.obs {
+		out[o.Op] = append(out[o.Op], o)
+	}
+	return out
+}
+
+// The observer hook must see one observation per operation — op class,
+// outcome and a plausible duration — across the entry, batch and queue
+// paths, with retries folded into a single observation.
+func TestObserverSeesEveryOperation(t *testing.T) {
+	ctx := context.Background()
+	_, hs := newQueueTestServer(t, time.Minute)
+	var log obsLog
+	c := testClient(t, hs.URL, ClientConfig{Observer: log.add})
+
+	fp := testFingerprint("observed")
+	if err := c.Put(ctx, fp, testRecord()); err != nil {
+		t.Fatal(err)
+	}
+	if _, out := c.Get(ctx, fp); out != Hit {
+		t.Fatal("get did not hit")
+	}
+	if _, out := c.Get(ctx, testFingerprint("observed-absent")); out != Miss {
+		t.Fatal("get did not miss")
+	}
+	if _, err := c.GetBatch(ctx, []string{fp}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EnqueueJobs(ctx, []queue.JobSpec{spec("wc", lower.SetI)}); err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := c.LeaseJob(ctx, "obs-worker")
+	if err != nil || l == nil {
+		t.Fatalf("lease: %v %v", l, err)
+	}
+	if err := c.HeartbeatJob(ctx, l.ID, l.Token); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CompleteJob(ctx, l.ID, l.Token, "obs-worker", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Metrics(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	got := log.byOp()
+	want := map[string]string{
+		"put":       "ok",
+		"batch-get": "ok",
+		"enqueue":   "ok",
+		"lease":     "ok",
+		"heartbeat": "ok",
+		"complete":  "ok",
+		"metrics":   "ok",
+	}
+	for op, outcome := range want {
+		obs := got[op]
+		if len(obs) != 1 {
+			t.Errorf("op %q observed %d times, want 1", op, len(obs))
+			continue
+		}
+		if obs[0].Outcome != outcome || obs[0].Err != nil {
+			t.Errorf("op %q: outcome %q err %v, want %q/nil", op, obs[0].Outcome, obs[0].Err, outcome)
+		}
+		if obs[0].Duration < 0 {
+			t.Errorf("op %q: negative duration %v", op, obs[0].Duration)
+		}
+	}
+	gets := got["get"]
+	if len(gets) != 2 {
+		t.Fatalf("get observed %d times, want 2", len(gets))
+	}
+	if gets[0].Outcome != "hit" || gets[1].Outcome != "miss" {
+		t.Errorf("get outcomes %q/%q, want hit/miss", gets[0].Outcome, gets[1].Outcome)
+	}
+}
+
+// A failing operation must be observed as one "error" observation whose
+// duration spans the whole retry sequence, and a typed queue error must
+// ride along on Err.
+func TestObserverSeesFailures(t *testing.T) {
+	ctx := context.Background()
+	_, hs := newQueueTestServer(t, time.Minute)
+	var log obsLog
+	c := testClient(t, hs.URL, ClientConfig{Observer: log.add})
+
+	// Heartbeat on a job that was never enqueued: typed 404, one observation.
+	err := c.HeartbeatJob(ctx, "nope", "token")
+	if err == nil {
+		t.Fatal("heartbeat on unknown job succeeded")
+	}
+	obs := log.byOp()["heartbeat"]
+	if len(obs) != 1 || obs[0].Outcome != "error" || obs[0].Err == nil {
+		t.Fatalf("heartbeat failure observations: %+v", obs)
+	}
+
+	// A dead server: the whole bounded retry sequence is one observation.
+	hs.Close()
+	var dead obsLog
+	dc := testClient(t, hs.URL, ClientConfig{Observer: dead.add, MaxAttempts: 2})
+	if _, out := dc.Get(ctx, testFingerprint("dead")); out != Fallback {
+		t.Fatalf("get against dead server: %v", out)
+	}
+	gets := dead.byOp()["get"]
+	if len(gets) != 1 || gets[0].Outcome != "fallback" {
+		t.Fatalf("dead-server get observations: %+v", gets)
+	}
+}

@@ -181,6 +181,18 @@ const DefaultTTL = 60 * time.Second
 // is marked Failed instead of re-offered.
 const DefaultMaxAttempts = 3
 
+// MaxTrackedWorkers bounds the per-worker completions map. A build farm
+// has a handful of stable worker IDs, but a long soak (or a fleet whose
+// IDs embed PIDs across restarts) can churn through arbitrarily many;
+// without a cap every one would live in /metrics forever. Workers beyond
+// the cap are aggregated under OverflowWorker, so totals stay exact
+// while the map — and the /metrics page — stays bounded.
+const MaxTrackedWorkers = 128
+
+// OverflowWorker is the aggregate completions bucket for workers beyond
+// MaxTrackedWorkers.
+const OverflowWorker = "(other)"
+
 // New returns an empty queue whose leases last ttl (DefaultTTL if <= 0)
 // and whose jobs fail permanently after maxAttempts failed builds
 // (DefaultMaxAttempts if <= 0).
@@ -338,8 +350,22 @@ func (q *Queue) Complete(id, token, worker, buildErr string) error {
 	}
 	j.state = Done
 	j.worker = worker
-	q.completed[worker]++
+	q.completed[q.trackedWorker(worker)]++
 	return nil
+}
+
+// trackedWorker returns the completions-map key for worker: the worker
+// itself while the map has room (or already holds it), the overflow
+// bucket once more distinct IDs have completed jobs than the map — and
+// the /metrics page rendered from it — should ever grow.
+func (q *Queue) trackedWorker(worker string) string {
+	if _, ok := q.completed[worker]; ok {
+		return worker
+	}
+	if len(q.completed) >= MaxTrackedWorkers {
+		return OverflowWorker
+	}
+	return worker
 }
 
 // Counts snapshots the queue.

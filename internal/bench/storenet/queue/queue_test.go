@@ -398,3 +398,86 @@ func TestConcurrentContentionWithExpiry(t *testing.T) {
 		t.Errorf("per-worker completions sum to %d, want %d (double-counted transition)", total, jobs)
 	}
 }
+
+// A load generator abandoning a fraction of its leases must not eat the
+// job's failure budget: expiry is a scheduling event, not a failed build
+// attempt, no matter how many times it repeats.
+func TestExpiryChurnDoesNotConsumeFailureBudget(t *testing.T) {
+	q, clock := newTestQueue(time.Second)
+	q.Enqueue(specs(1))
+	id := ""
+	// Churn well past the attempt budget: lease, walk away, expire.
+	for i := 0; i < DefaultMaxAttempts*4; i++ {
+		l, ok, _ := q.Lease(fmt.Sprintf("ghost-%d", i))
+		if !ok {
+			t.Fatalf("churn round %d: job not re-offered: %+v", i, q.Counts())
+		}
+		id = l.ID
+		clock.advance(2 * time.Second)
+	}
+	c := q.Counts()
+	if c.Failed != 0 {
+		t.Fatalf("expiry churn marked the job failed: %+v", c)
+	}
+	if c.Expired != int64(DefaultMaxAttempts*4) {
+		t.Errorf("expired %d, want %d", c.Expired, DefaultMaxAttempts*4)
+	}
+	// An honest worker still gets the job and finishes it.
+	l, ok, _ := q.Lease("honest")
+	if !ok || l.ID != id {
+		t.Fatalf("job not leasable after churn: ok=%v", ok)
+	}
+	if err := q.Complete(l.ID, l.Token, "honest", ""); err != nil {
+		t.Fatalf("complete after churn: %v", err)
+	}
+	c = q.Counts()
+	if c.Done != 1 || !c.Drained || c.Pending != 0 || c.Leased != 0 {
+		t.Fatalf("books unbalanced after churn + completion: %+v", c)
+	}
+}
+
+// The per-worker completions map must stay bounded no matter how many
+// distinct worker IDs complete jobs: beyond the cap, completions fold
+// into the overflow bucket and totals stay exact.
+func TestWorkerCompletionsMapBounded(t *testing.T) {
+	q, _ := newTestQueue(time.Minute)
+	jobs := MaxTrackedWorkers + 50
+	q.Enqueue(specs(jobs))
+	for i := 0; i < jobs; i++ {
+		worker := fmt.Sprintf("soak-worker-%04d", i)
+		l, ok, _ := q.Lease(worker)
+		if !ok {
+			t.Fatalf("lease %d failed", i)
+		}
+		if err := q.Complete(l.ID, l.Token, worker, ""); err != nil {
+			t.Fatalf("complete %d: %v", i, err)
+		}
+	}
+	c := q.Counts()
+	if len(c.Workers) > MaxTrackedWorkers+1 {
+		t.Errorf("worker map grew to %d entries, cap is %d (+1 overflow)",
+			len(c.Workers), MaxTrackedWorkers)
+	}
+	var total int64
+	for _, n := range c.Workers {
+		total += n
+	}
+	if total != int64(jobs) {
+		t.Errorf("tracked completions sum to %d, want %d", total, jobs)
+	}
+	if c.Workers[OverflowWorker] != int64(jobs-MaxTrackedWorkers) {
+		t.Errorf("overflow bucket holds %d, want %d", c.Workers[OverflowWorker], jobs-MaxTrackedWorkers)
+	}
+	// A capped worker keeps incrementing its own entry, not the bucket.
+	q.Enqueue(specs(jobs + 1)[jobs:])
+	l, ok, _ := q.Lease("soak-worker-0000")
+	if !ok {
+		t.Fatal("lease for returning worker failed")
+	}
+	if err := q.Complete(l.ID, l.Token, "soak-worker-0000", ""); err != nil {
+		t.Fatal(err)
+	}
+	if n := q.Counts().Workers["soak-worker-0000"]; n != 2 {
+		t.Errorf("returning tracked worker credited %d, want 2", n)
+	}
+}

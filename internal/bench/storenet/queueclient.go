@@ -33,8 +33,10 @@ import (
 // already queued, running, or done are reported as known, not
 // re-queued, so re-submitting a matrix is an idempotent resume.
 func (c *Client) EnqueueJobs(ctx context.Context, specs []queue.JobSpec) (EnqueueResponse, error) {
+	start := time.Now()
 	var resp EnqueueResponse
 	err := c.postJSON(ctx, "/v1/queue", EnqueueRequest{Jobs: specs}, &resp, false)
+	c.observeErr("enqueue", start, err)
 	return resp, err
 }
 
@@ -42,10 +44,13 @@ func (c *Client) EnqueueJobs(ctx context.Context, specs []queue.JobSpec) (Enqueu
 // pending; drained then reports whether the whole grid is terminal
 // (stop) or work is still in flight elsewhere (poll again).
 func (c *Client) LeaseJob(ctx context.Context, worker string) (lease *queue.Lease, drained bool, err error) {
+	start := time.Now()
 	var resp LeaseResponse
 	if err := c.postJSON(ctx, "/v1/lease", LeaseRequest{Worker: worker}, &resp, false); err != nil {
+		c.observeErr("lease", start, err)
 		return nil, false, err
 	}
+	c.observeErr("lease", start, nil)
 	if resp.Job == nil {
 		return nil, resp.Drained, nil
 	}
@@ -61,24 +66,32 @@ func (c *Client) LeaseJob(ctx context.Context, worker string) (lease *queue.Leas
 // attempt. Completing a job that someone else finished first returns
 // nil — results are content-addressed, so the duplicate was identical.
 func (c *Client) CompleteJob(ctx context.Context, id, token, worker, buildErr string) error {
-	return c.postJSON(ctx, "/v1/complete",
+	start := time.Now()
+	err := c.postJSON(ctx, "/v1/complete",
 		CompleteRequest{ID: id, Token: token, Worker: worker, Error: buildErr}, nil, false)
+	c.observeErr("complete", start, err)
+	return err
 }
 
 // HeartbeatJob extends the lease (id, token). queue.ErrLeaseConflict or
 // queue.ErrGone mean the job is no longer this worker's: stop building
 // it.
 func (c *Client) HeartbeatJob(ctx context.Context, id, token string) error {
-	return c.postJSON(ctx, "/v1/heartbeat", HeartbeatRequest{ID: id, Token: token}, nil, false)
+	start := time.Now()
+	err := c.postJSON(ctx, "/v1/heartbeat", HeartbeatRequest{ID: id, Token: token}, nil, false)
+	c.observeErr("heartbeat", start, err)
+	return err
 }
 
 // QueueStatus fetches the coordinator's counts — what -collect polls
 // until Drained.
 func (c *Client) QueueStatus(ctx context.Context) (queue.Counts, error) {
+	start := time.Now()
 	var counts queue.Counts
 	err := c.doJSON(ctx, func() (*http.Request, error) {
 		return http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/queue", nil)
 	}, &counts, false)
+	c.observeErr("status", start, err)
 	return counts, err
 }
 

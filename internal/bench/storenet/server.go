@@ -65,6 +65,7 @@ func (s *Server) LogRequests(logf func(format string, args ...interface{})) { s.
 //	POST /v1/batch/get     fetch many entries in one round trip
 //	POST /v1/batch/put     upload many entries in one round trip
 //	GET  /metrics          plaintext counters
+//	GET  /metrics.json     the same counters as one JSON document
 //
 // and, when a queue is attached (the build-farm coordinator):
 //
@@ -83,6 +84,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/batch/get", gzipped(s.handleBatchGet))
 	mux.HandleFunc("POST /v1/batch/put", gzipped(s.handleBatchPut))
 	mux.HandleFunc("GET /metrics", gzipped(s.handleMetrics))
+	mux.HandleFunc("GET /metrics.json", gzipped(s.handleMetricsJSON))
 	if s.queue != nil {
 		mux.HandleFunc("POST /v1/queue", gzipped(s.handleEnqueue))
 		mux.HandleFunc("GET /v1/queue", gzipped(s.handleQueueStatus))
@@ -286,7 +288,13 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// ?format=json is an alias for /metrics.json; the plaintext rendering
+	// below stays byte-stable for everything that greps it.
+	if r.URL.Query().Get("format") == "json" {
+		s.handleMetricsJSON(w, r)
+		return
+	}
 	st := s.Stats()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "brstored_hits %d\n", st.Hits)
