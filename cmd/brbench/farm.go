@@ -217,7 +217,7 @@ func buildOne(ctx context.Context, engine *bench.Engine, client *storenet.Client
 	// always make sure the result is in the coordinator's store before
 	// declaring the job done — complete-without-result would leave
 	// -collect rebuilding what we claim to have built.
-	fp := store.Fingerprint(w.Source, w.Train(), w.Test(), l.Spec.Opts)
+	fp := store.Fingerprint(w.Source, bench.TrainInput(w, l.Spec.Opts), w.Test(), l.Spec.Opts)
 	if err := client.Put(ctx, fp, run.Record()); err != nil {
 		client.CompleteJob(ctx, l.ID, l.Token, workerID, "result upload failed: "+err.Error())
 		return buildFailed
@@ -269,7 +269,7 @@ func collectFarm(ctx context.Context, engine *bench.Engine, client *storenet.Cli
 	byFP := make(map[string]bench.Job, len(jobs))
 	fps := make([]string, 0, len(jobs))
 	for _, j := range jobs {
-		fp := store.Fingerprint(j.Workload.Source, j.Workload.Train(), j.Workload.Test(), j.Opts)
+		fp := store.Fingerprint(j.Workload.Source, bench.TrainInput(j.Workload, j.Opts), j.Workload.Test(), j.Opts)
 		if _, ok := byFP[fp]; ok {
 			continue
 		}

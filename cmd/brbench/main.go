@@ -56,6 +56,7 @@ import (
 	"branchreorder/internal/bench/store"
 	"branchreorder/internal/bench/storenet"
 	"branchreorder/internal/lower"
+	"branchreorder/internal/pipeline"
 	"branchreorder/internal/workload"
 )
 
@@ -73,6 +74,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		table     = fs.Int("table", 0, "render only this table (2-8)")
 		figure    = fs.Int("figure", 0, "render only this figure (11-13)")
 		ablation  = fs.Bool("ablation", false, "run the design-choice ablation study instead")
+		profStudy = fs.Bool("profile-study", false, "run the profile-quality study (sampled profiles scored against exact ones, by sample rate and train/test drift) instead")
+		profRates = fs.String("profile-rates", "1,8,64,512", "comma-separated sample rates for -profile-study (1 is the exact reference and must be present)")
+		profSeed  = fs.Uint64("profile-seed", 1, "deterministic sampling seed for -profile-study")
+		profBias  = fs.Uint64("profile-bias", 0, "fault injection for -profile-study: corrupt every sampled sequence's first arm count by this much")
+		profMerge = fs.Bool("profile-merge", false, "fold every training run into a persistent merged-profile record and train from the decayed fold (needs -cache-dir or -store-url)")
 		quiet     = fs.Bool("q", false, "suppress progress output and the timing summary")
 		jobs      = fs.Int("j", 0, "max concurrent build+measure jobs (<=0 means GOMAXPROCS)")
 		workloads = fs.String("workloads", "", "comma-separated workload subset (default: all 17)")
@@ -167,6 +173,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(fmt.Errorf("-cache-gc collects the local store; add -cache-dir DIR"))
 	case *cacheGC < 0:
 		return fail(fmt.Errorf("-cache-gc needs a positive age, got %v", *cacheGC))
+	case *profStudy && (*ablation || *table != 0 || *figure != 0 || *jsonOut != ""):
+		return fail(fmt.Errorf("-profile-study renders its own table; drop -ablation/-table/-figure/-json"))
+	case *profStudy && (*enqueue != "" || *workerURL != "" || *collect != ""):
+		return fail(fmt.Errorf("-profile-study does not run on the farm; drop -enqueue/-worker/-collect"))
+	case *profStudy && *profMerge:
+		return fail(fmt.Errorf("-profile-study scores fresh training runs; -profile-merge would make its table depend on store history"))
+	case !*profStudy && (*profRates != "1,8,64,512" || *profSeed != 1 || *profBias != 0):
+		return fail(fmt.Errorf("-profile-rates, -profile-seed and -profile-bias configure the study; add -profile-study"))
+	case *profMerge && *cacheDir == "" && *storeURL == "" && *workerURL == "" && *collect == "":
+		return fail(fmt.Errorf("-profile-merge persists profiles across runs; add -cache-dir DIR or -store-url URL"))
+	}
+	var rates []int
+	if *profStudy {
+		if rates, err = parseRates(*profRates); err != nil {
+			return fail(err)
+		}
 	}
 
 	names, ws, err := selectWorkloads(*workloads)
@@ -184,13 +206,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	// -profile-merge is a cross-cutting switch: every enumerated job's
+	// training runs in merge mode, whichever path enumerates them.
+	var mod func(pipeline.Options) pipeline.Options
+	if *profMerge {
+		mod = func(o pipeline.Options) pipeline.Options {
+			o.Profile.Merge = true
+			return o
+		}
+	}
+
 	// -enqueue only talks to the coordinator; no engine, no rendering.
 	if *enqueue != "" {
 		jobList := bench.SuiteJobs(ws)
 		if *ablation {
 			jobList = bench.AblationJobs(lower.SetIII, ws)
 		}
-		return runEnqueue(*enqueue, *storeTO, jobList, stdout, stderr)
+		return runEnqueue(*enqueue, *storeTO, bench.ModJobs(jobList, mod), stdout, stderr)
 	}
 
 	var progress io.Writer = stderr
@@ -266,7 +298,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 				if st.ProfileHits > 0 {
 					fmt.Fprintf(stderr, ", %d from store", st.ProfileHits)
 				}
-				fmt.Fprintf(stderr, ")\n")
+				fmt.Fprintf(stderr, ")")
+				if st.SampledTrainRuns > 0 {
+					fmt.Fprintf(stderr, ", %d sampled training runs", st.SampledTrainRuns)
+				}
+				if st.ProfileMergeHits > 0 {
+					fmt.Fprintf(stderr, ", %d merged-profile reuses", st.ProfileMergeHits)
+				}
+				fmt.Fprintf(stderr, "\n")
 			}
 			if len(st.BuildSeconds) > 0 {
 				names := make([]string, 0, len(st.BuildSeconds))
@@ -302,6 +341,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *ablation {
 			jobList = bench.AblationJobs(lower.SetIII, ws)
 		}
+		jobList = bench.ModJobs(jobList, mod)
 		if err := collectFarm(ctx, engine, remote, jobList, *collectTO, *farmPoll, *quiet, stderr); err != nil {
 			return fail(err)
 		}
@@ -325,16 +365,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	if *ablation {
+	if *profStudy {
 		if *export != "" {
-			return exportRuns(bench.AblationJobs(lower.SetIII, ws))
+			return exportRuns(bench.ProfileStudyJobs(ws, rates, *profSeed, *profBias))
 		}
 		if *merge != "" {
 			if shardStats, err = loadShards(engine, *merge); err != nil {
 				return fail(err)
 			}
 		}
-		rows, err := bench.RunAblationWith(ctx, engine, lower.SetIII, names)
+		rows, err := bench.RunProfileStudyWith(ctx, engine, ws, rates, *profSeed, *profBias)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprint(stdout, bench.ProfileStudyTable(rows))
+		return 0
+	}
+
+	if *ablation {
+		if *export != "" {
+			return exportRuns(bench.ModJobs(bench.AblationJobs(lower.SetIII, ws), mod))
+		}
+		if *merge != "" {
+			if shardStats, err = loadShards(engine, *merge); err != nil {
+				return fail(err)
+			}
+		}
+		rows, err := bench.RunAblationOpts(ctx, engine, lower.SetIII, names, mod)
 		if err != nil {
 			return fail(err)
 		}
@@ -343,7 +400,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *export != "" {
-		return exportRuns(bench.SuiteJobs(ws))
+		return exportRuns(bench.ModJobs(bench.SuiteJobs(ws), mod))
 	}
 
 	if *merge != "" {
@@ -352,7 +409,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	suite, err := engine.SuiteOf(ctx, ws)
+	suite, err := engine.SuiteOfOpts(ctx, ws, mod)
 	if err != nil {
 		return fail(err)
 	}
@@ -389,6 +446,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// parseRates parses the -profile-rates list.
+func parseRates(s string) ([]int, error) {
+	var rates []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var r int
+		if _, err := fmt.Sscanf(part, "%d", &r); err != nil || fmt.Sprintf("%d", r) != part || r < 1 {
+			return nil, fmt.Errorf("-profile-rates must be positive integers, got %q", part)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("-profile-rates selected nothing")
+	}
+	return rates, nil
 }
 
 // parseShard parses "-shard i/n". shardN is 0 when the flag is unset.

@@ -9,6 +9,8 @@
 //	brstored -dir pool -addr 127.0.0.1:9000            # pick a port
 //	brstored -dir pool -max-bytes 1073741824           # LRU-bound to 1 GiB
 //	brstored -dir pool -max-age 720h -gc-interval 1h   # drop month-old entries
+//	brstored -dir pool -max-bytes 1073741824 -profile-max-age 4320h
+//	                       # results LRU-bound, profile records kept half a year
 //	brstored -dir pool -queue -lease-ttl 30s           # build-farm coordinator
 //
 // Point workers at it with brbench -store-url http://HOST:8370; a
@@ -59,7 +61,8 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(addr
 		addr       = fs.String("addr", ":8370", "listen address")
 		dir        = fs.String("dir", "", "backing store directory (required)")
 		maxBytes   = fs.Int64("max-bytes", 0, "evict least-recently-used entries beyond this total size (0 = unbounded)")
-		maxAge     = fs.Duration("max-age", 0, "evict entries older than this (0 = keep forever)")
+		maxAge     = fs.Duration("max-age", 0, "evict result entries older than this (0 = keep forever)")
+		profMaxAge = fs.Duration("profile-max-age", 0, "evict profile and merged-profile entries older than this; they are exempt from -max-bytes (0 = keep forever)")
 		gcInterval = fs.Duration("gc-interval", 10*time.Minute, "how often to run eviction when -max-bytes or -max-age is set")
 		quiet      = fs.Bool("q", false, "suppress startup and gc logging")
 		withQueue  = fs.Bool("queue", false, "also coordinate a build farm: serve the work-queue API")
@@ -125,13 +128,17 @@ func run(ctx context.Context, args []string, stderr io.Writer, onReady func(addr
 	gcDone := make(chan struct{})
 	go func() {
 		defer close(gcDone)
-		if *maxBytes <= 0 && *maxAge <= 0 {
+		if *maxBytes <= 0 && *maxAge <= 0 && *profMaxAge <= 0 {
 			return
 		}
 		t := time.NewTicker(*gcInterval)
 		defer t.Stop()
 		for {
-			res, err := srv.GC(*maxAge, *maxBytes)
+			res, err := srv.GCWith(store.GCPolicy{
+				MaxAge:        *maxAge,
+				MaxBytes:      *maxBytes,
+				ProfileMaxAge: *profMaxAge,
+			})
 			if err != nil {
 				logf("brstored: gc: %v\n", err)
 			} else if res.Evicted > 0 {

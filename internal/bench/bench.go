@@ -19,9 +19,21 @@ import (
 	"branchreorder/internal/bench/store"
 	"branchreorder/internal/lower"
 	"branchreorder/internal/pipeline"
+	"branchreorder/internal/profile"
 	"branchreorder/internal/sim"
 	"branchreorder/internal/workload"
 )
+
+// TrainInput returns the input a build under opts trains on: the
+// workload's training input normally, or the test input itself when the
+// profile configuration asks for no train/test drift — the profile
+// study's "how good could a perfectly fresh profile be" arm.
+func TrainInput(w workload.Workload, opts pipeline.Options) []byte {
+	if opts.Profile.Drift == profile.DriftNone {
+		return w.Test()
+	}
+	return w.Train()
+}
 
 // SeqStat is one sequence's outcome in serializable form; see
 // store.SeqStat.
@@ -66,7 +78,7 @@ func Run(w workload.Workload, set lower.HeuristicSet) (*ProgramRun, error) {
 // configuration (ablation variants and the Section 10 extension
 // included), using the monolithic pipeline.Build.
 func RunOpts(w workload.Workload, opts pipeline.Options) (*ProgramRun, error) {
-	b, err := pipeline.Build(w.Source, w.Train(), opts)
+	b, err := pipeline.Build(w.Source, TrainInput(w, opts), opts)
 	if err != nil {
 		return nil, fmt.Errorf("%s (set %v): %w", w.Name, opts.Switch, err)
 	}
@@ -78,7 +90,7 @@ func RunOpts(w workload.Workload, opts pipeline.Options) (*ProgramRun, error) {
 // and only the finalize stage runs per variant. Output is byte-identical
 // to RunOpts.
 func RunStaged(cache *pipeline.StageCache, w workload.Workload, opts pipeline.Options) (*ProgramRun, error) {
-	b, err := cache.Build(w.Source, w.Train(), opts)
+	b, err := cache.Build(w.Source, TrainInput(w, opts), opts)
 	if err != nil {
 		return nil, fmt.Errorf("%s (set %v): %w", w.Name, opts.Switch, err)
 	}
@@ -108,6 +120,15 @@ func measureBuild(w workload.Workload, opts pipeline.Options, b *pipeline.BuildR
 			Applied:      res.Applied,
 			OrigBranches: res.OrigBranches,
 			NewBranches:  res.NewBranches,
+			Default:      -1,
+		}
+		// The selected ordering is only meaningful for applied
+		// sequences; a skipped one would record the zero Ordering,
+		// whose default target of 0 reads as a real arm.
+		if res.Applied {
+			seqs[i].Order = append([]int(nil), res.Ordering.Explicit...)
+			seqs[i].Omitted = append([]int(nil), res.Ordering.Omitted...)
+			seqs[i].Default = res.Ordering.DefaultTarget
 		}
 	}
 	return &ProgramRun{

@@ -139,6 +139,8 @@ func (e *Engine) Stats() EngineStats {
 	s.FrontendHits = ss.FrontendHits
 	s.TrainRuns = ss.TrainRuns
 	s.TrainHits = ss.TrainHits
+	s.SampledTrainRuns = ss.SampledTrainRuns
+	s.ProfileMergeHits = ss.ProfileMergeHits
 	if e.stats.BuildSeconds != nil {
 		s.BuildSeconds = make(map[string]float64, len(e.stats.BuildSeconds))
 		for w, sec := range e.stats.BuildSeconds {
@@ -195,7 +197,7 @@ func (e *Engine) Get(ctx context.Context, w workload.Workload, opts pipeline.Opt
 	// miss; Invalid is counted separately so invalidations are visible.
 	var fp string
 	if e.disk != nil || e.remote != nil {
-		fp = store.Fingerprint(w.Source, w.Train(), w.Test(), opts)
+		fp = store.Fingerprint(w.Source, TrainInput(w, opts), w.Test(), opts)
 	}
 	if e.disk != nil {
 		rec, st := e.disk.Get(fp)
@@ -367,6 +369,63 @@ func (p profileTier) PutProfile(src string, train []byte, fo pipeline.FrontendOp
 	}
 }
 
+// MergeProfile folds a just-trained product into the persistent
+// merged-profile record for (src, fo, d) and returns the fold — the
+// decay-weighted sum of this and every previously accumulated training
+// input. The merged fingerprint deliberately ignores the training input
+// and the drift choice, so successive runs over different inputs pile
+// into one record. Reads prefer the disk tier; the updated record is
+// written back to both tiers best-effort. A nil return means no
+// persistent tier is attached and the caller should use the solo
+// product; reused reports whether prior contributions were folded in.
+func (p profileTier) MergeProfile(src string, train []byte, fo pipeline.FrontendOptions, d pipeline.DetectOptions, tp *pipeline.TrainProduct) (*pipeline.TrainProduct, bool) {
+	e := p.e
+	if e.disk == nil && e.remote == nil {
+		return nil, false
+	}
+	fp := store.MergedFingerprint(src, fo, d)
+	var rec *store.MergedRecord
+	if e.disk != nil {
+		if r, st := e.disk.GetMerged(fp); st == store.Hit {
+			rec = r
+		}
+	}
+	if rec == nil && e.remote != nil {
+		if r, out := e.remote.GetMerged(context.Background(), fp); out == storenet.Hit {
+			rec = r
+			if e.disk != nil {
+				if perr := e.disk.PutMerged(fp, r); perr != nil {
+					e.logf("profile store write failed: %v\n", perr)
+				}
+			}
+		}
+	}
+	reused := rec != nil && len(rec.Contribs) > 0
+	if rec == nil {
+		rec = &store.MergedRecord{HalfLife: d.Profile.EffectiveHalfLife()}
+	}
+	rec.Merge(store.TrainDigest(train), store.FromTrain(tp))
+	stored := false
+	if e.disk != nil {
+		if perr := e.disk.PutMerged(fp, rec); perr != nil {
+			e.logf("profile store write failed: %v\n", perr)
+		} else {
+			stored = true
+		}
+	}
+	if e.remote != nil {
+		if perr := e.remote.PutMerged(context.Background(), fp, rec); perr == nil {
+			stored = true
+		}
+	}
+	if stored {
+		e.mu.Lock()
+		e.stats.ProfilePuts++
+		e.mu.Unlock()
+	}
+	return rec.Fold(), reused
+}
+
 // optsSuffix labels non-default configurations in progress output.
 func optsSuffix(o pipeline.Options) string {
 	var parts []string
@@ -437,7 +496,21 @@ func (e *Engine) Suite(ctx context.Context) (*Suite, error) {
 // set. Results are ordered exactly as ws regardless of which build
 // finishes first, so rendered tables are byte-identical across -j values.
 func (e *Engine) SuiteOf(ctx context.Context, ws []workload.Workload) (*Suite, error) {
-	runs, err := e.RunJobs(ctx, SuiteJobs(ws))
+	return e.SuiteOfOpts(ctx, ws, nil)
+}
+
+// SuiteOfOpts is SuiteOf with every job's options passed through mod
+// (when non-nil), so a cross-cutting configuration — profile sampling or
+// merging, say — applies to the whole evaluation matrix without
+// enumerating jobs by hand.
+func (e *Engine) SuiteOfOpts(ctx context.Context, ws []workload.Workload, mod func(pipeline.Options) pipeline.Options) (*Suite, error) {
+	jobs := SuiteJobs(ws)
+	if mod != nil {
+		for i := range jobs {
+			jobs[i].Opts = mod(jobs[i].Opts)
+		}
+	}
+	runs, err := e.RunJobs(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -28,6 +28,21 @@ func SuiteJobs(ws []workload.Workload) []Job {
 	return jobs
 }
 
+// ModJobs returns a copy of jobs with every job's options passed
+// through mod — how a cross-cutting configuration such as -profile-merge
+// applies to an enumerated matrix. A nil mod returns jobs unchanged.
+func ModJobs(jobs []Job, mod func(pipeline.Options) pipeline.Options) []Job {
+	if mod == nil {
+		return jobs
+	}
+	out := make([]Job, len(jobs))
+	for i, j := range jobs {
+		j.Opts = mod(j.Opts)
+		out[i] = j
+	}
+	return out
+}
+
 // ShardJobs returns partition shard of n: job i goes to shard i mod n,
 // so every job lands in exactly one shard, shards differ in size by at
 // most one job, and the assignment depends only on the job order.

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 )
 
@@ -21,7 +22,7 @@ func FuzzStoreDecode(f *testing.F) {
 	f.Add(good[:len(good)/2])
 	f.Add(good[:len(good)-3])
 	f.Add(bytes.ToUpper(good))
-	f.Add(bytes.Replace(good, []byte(`"schema": 1`), []byte(`"schema": 2`), 1))
+	f.Add(bytes.Replace(good, []byte(fmt.Sprintf(`"schema": %d`, SchemaVersion)), []byte(`"schema": 99`), 1))
 	f.Add(bytes.Replace(good, []byte(`"sum"`), []byte(`"sun"`), 1))
 	f.Add([]byte(nil))
 	f.Add([]byte("{}"))
@@ -50,6 +51,82 @@ func FuzzStoreDecode(f *testing.F) {
 			for _, rec := range recs {
 				if verr := rec.Validate(); verr != nil {
 					t.Fatalf("ReadExport returned an invalid record: %v", verr)
+				}
+			}
+		}
+	})
+}
+
+// FuzzProfileDecode drives the profile-kind decoders with hostile
+// inputs: malformed, truncated, or oversized profile and merged-profile
+// documents must come back as errors — cache misses — never panics, and
+// whatever does decode must survive its own validation and re-encode.
+// The same bytes also face VerifyEntry, the network store's upload
+// gate, which must reject anything the decoders reject.
+func FuzzProfileDecode(f *testing.F) {
+	pfp := profileFP()
+	goodProfile, err := EncodeProfile(pfp, FromTrain(sampleTrain()))
+	if err != nil {
+		f.Fatal(err)
+	}
+	mrec := &MergedRecord{HalfLife: 1}
+	mrec.Merge(TrainDigest([]byte("input-a")), FromTrain(sampleTrain()))
+	mrec.Merge(TrainDigest([]byte("input-b")), FromTrain(sampleTrain()))
+	mfp := mergedFP()
+	goodMerged, err := EncodeMerged(mfp, mrec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, seed := range [][]byte{
+		goodProfile,
+		goodMerged,
+		goodMerged[:len(goodMerged)/2],
+		goodMerged[:len(goodMerged)-3],
+		bytes.ToUpper(goodMerged),
+		bytes.Replace(goodMerged, []byte(`"halfLife": 1`), []byte(`"halfLife": 0`), 1),
+		bytes.Replace(goodMerged, []byte(`"generation": 1`), []byte(`"generation": -7`), 1),
+		bytes.Replace(goodMerged, []byte(`"sum"`), []byte(`"sun"`), 1),
+		bytes.Replace(goodProfile, []byte(`"kind": "profile"`), []byte(`"kind": "merged-profile"`), 1),
+		[]byte(`{"schema":2,"kind":"merged-profile","fingerprint":"","sum":"","record":null}`),
+		[]byte(`{"schema":2,"kind":"profile","fingerprint":"x","sum":"00","record":{}}`),
+		nil,
+	} {
+		f.Add(seed)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, key := range []string{"", pfp, mfp} {
+			if rec, err := DecodeProfile(data, key); err == nil {
+				if verr := rec.Validate(); verr != nil {
+					t.Fatalf("DecodeProfile returned an invalid record: %v", verr)
+				}
+				if _, eerr := EncodeProfile(key, rec); eerr != nil {
+					t.Fatalf("decoded profile does not re-encode: %v", eerr)
+				}
+			}
+			if rec, err := DecodeMerged(data, key); err == nil {
+				if verr := rec.Validate(); verr != nil {
+					t.Fatalf("DecodeMerged returned an invalid record: %v", verr)
+				}
+				if _, eerr := EncodeMerged(key, rec); eerr != nil {
+					t.Fatalf("decoded merged record does not re-encode: %v", eerr)
+				}
+				if rec.Fold() == nil {
+					t.Fatal("validated merged record folds to nothing")
+				}
+			}
+			// The upload gate must agree with the decoders: anything it
+			// accepts must be decodable by the kind it reports.
+			if kind, err := VerifyEntry(data, key); err == nil {
+				switch kind {
+				case KindProfile:
+					if _, derr := DecodeProfile(data, key); derr != nil {
+						t.Fatalf("VerifyEntry accepted a profile the decoder rejects: %v", derr)
+					}
+				case KindMerged:
+					if _, derr := DecodeMerged(data, key); derr != nil {
+						t.Fatalf("VerifyEntry accepted a merged record the decoder rejects: %v", derr)
+					}
 				}
 			}
 		}

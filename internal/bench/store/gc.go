@@ -1,6 +1,7 @@
 package store
 
 import (
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -21,22 +22,44 @@ type GCResult struct {
 	Freed   int64 // bytes reclaimed
 }
 
-// GC evicts stale entries: everything older than maxAge goes first, then
-// the least-recently-used entries (by mtime — Touch refreshes it on a
-// hit) until the store fits in maxBytes. A zero or negative bound
-// disables that criterion, so GC(0, 0) only sweeps orphaned temp files.
-// Eviction races are benign: an entry is immutable once written, so a
-// concurrent reader either got it before the unlink or misses and
-// rebuilds.
+// GCPolicy configures a collection pass. Profile-kind entries (stage-2
+// profiles and merged profiles) are policed separately from build
+// results: they are tiny but represent training runs the whole fleet
+// reuses for a long time, so the result LRU bytes budget must not churn
+// them out. A zero or negative bound disables that criterion.
+type GCPolicy struct {
+	// MaxAge evicts build-result entries older than this.
+	MaxAge time.Duration
+	// MaxBytes is the LRU bytes budget for build-result entries (by
+	// mtime — Touch refreshes it on a hit). Profile-kind entries neither
+	// count against nor are evicted by it.
+	MaxBytes int64
+	// ProfileMaxAge evicts profile-kind entries older than this — the
+	// only bound that applies to them, typically much longer than MaxAge.
+	ProfileMaxAge time.Duration
+}
+
+// GC evicts stale entries with a single age bound for every kind and
+// the bytes budget for results — the pre-policy behaviour, kept as the
+// simple entry point. Eviction races are benign: an entry is immutable
+// once written, so a concurrent reader either got it before the unlink
+// or misses and rebuilds. GC(0, 0) only sweeps orphaned temp files.
 func (s *Store) GC(maxAge time.Duration, maxBytes int64) (GCResult, error) {
+	return s.GCWith(GCPolicy{MaxAge: maxAge, MaxBytes: maxBytes, ProfileMaxAge: maxAge})
+}
+
+// GCWith runs one collection pass under the given policy.
+func (s *Store) GCWith(p GCPolicy) (GCResult, error) {
 	type entry struct {
-		path  string
-		mtime time.Time
-		size  int64
+		path    string
+		mtime   time.Time
+		size    int64
+		profile bool
 	}
 	var (
 		entries []entry
-		total   int64
+		total   int64 // build-result bytes, the budget MaxBytes polices
+		kept    int64 // bytes of entries exempt from the budget
 		now     = time.Now()
 	)
 	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
@@ -58,8 +81,13 @@ func (s *Store) GC(maxAge time.Duration, maxBytes int64) (GCResult, error) {
 		if ierr != nil {
 			return nil
 		}
-		entries = append(entries, entry{path: path, mtime: info.ModTime(), size: info.Size()})
-		total += info.Size()
+		e := entry{path: path, mtime: info.ModTime(), size: info.Size(), profile: isProfileEntry(path)}
+		entries = append(entries, e)
+		if e.profile {
+			kept += e.size
+		} else {
+			total += e.size
+		}
 		return nil
 	})
 	if err != nil {
@@ -69,26 +97,71 @@ func (s *Store) GC(maxAge time.Duration, maxBytes int64) (GCResult, error) {
 
 	res := GCResult{Scanned: len(entries)}
 	var firstErr error
-	for _, e := range entries {
-		stale := maxAge > 0 && now.Sub(e.mtime) > maxAge
-		over := maxBytes > 0 && total > maxBytes
-		if !stale && !over {
-			// Entries are oldest-first, so nothing later is stale either,
-			// and the size bound only loosens as we evict.
-			break
-		}
+	evict := func(e entry) {
 		if rerr := os.Remove(e.path); rerr != nil && !os.IsNotExist(rerr) {
 			if firstErr == nil {
 				firstErr = rerr
 			}
-			continue
+			return
 		}
 		res.Evicted++
 		res.Freed += e.size
-		total -= e.size
+		if e.profile {
+			kept -= e.size
+		} else {
+			total -= e.size
+		}
 	}
-	res.Bytes = total
+	for _, e := range entries {
+		if e.profile {
+			if p.ProfileMaxAge > 0 && now.Sub(e.mtime) > p.ProfileMaxAge {
+				evict(e)
+			}
+			continue
+		}
+		stale := p.MaxAge > 0 && now.Sub(e.mtime) > p.MaxAge
+		over := p.MaxBytes > 0 && total > p.MaxBytes
+		if stale || over {
+			// Entries are oldest-first, so once a result is neither stale
+			// nor over budget no later result is either — but profile
+			// entries interleave, so keep scanning rather than break.
+			evict(e)
+		}
+	}
+	res.Bytes = total + kept
 	return res, firstErr
+}
+
+// profileHeadWindow bounds how much of an entry is read to classify its
+// kind: the envelope leads with schema, then kind, so the tag (when
+// present) always sits in the first few dozen bytes.
+const profileHeadWindow = 256
+
+// isProfileEntry reports whether the entry at path is a profile-kind
+// record (stage-2 profile or merged profile) by scanning the head of
+// its envelope for the kind tag. Build entries omit the field entirely.
+// Unreadable or unrecognizable files classify as build entries, so
+// corruption stays subject to the ordinary result bounds.
+func isProfileEntry(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	head := make([]byte, profileHeadWindow)
+	n, _ := io.ReadFull(f, head)
+	f.Close()
+	head = head[:n]
+	i := strings.Index(string(head), `"kind": "`)
+	if i < 0 {
+		return false
+	}
+	rest := string(head[i+len(`"kind": "`):])
+	end := strings.IndexByte(rest, '"')
+	if end < 0 {
+		return false
+	}
+	kind := rest[:end]
+	return kind == KindProfile || kind == KindMerged
 }
 
 // Touch marks fp's entry as recently used so LRU eviction spares it.

@@ -150,3 +150,90 @@ func TestGCSweepsOrphanedTempFiles(t *testing.T) {
 		}
 	}
 }
+
+// gcProfileStore adds profile-kind entries (one stage-2 profile, one
+// merged profile) to a build-entry store, all backdated to be the
+// oldest files present.
+func gcProfileStore(t *testing.T, builds int) (*Store, []string, []string) {
+	t.Helper()
+	s, fps := gcStore(t, builds)
+	pfp := profileFP()
+	if err := s.PutProfile(pfp, FromTrain(sampleTrain())); err != nil {
+		t.Fatal(err)
+	}
+	mrec := &MergedRecord{HalfLife: 1}
+	mrec.Merge(TrainDigest([]byte("input-a")), FromTrain(sampleTrain()))
+	mfp := mergedFP()
+	if err := s.PutMerged(mfp, mrec); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Duration(builds+2) * time.Hour)
+	for _, fp := range []string{pfp, mfp} {
+		if err := os.Chtimes(s.path(fp), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, fps, []string{pfp, mfp}
+}
+
+// The result LRU bytes budget must never evict profile-kind entries,
+// even when they are the oldest files in the store.
+func TestGCBytesBudgetSparesProfiles(t *testing.T) {
+	s, fps, pfps := gcProfileStore(t, 4)
+	// A budget of one byte forces out every result; the (older!)
+	// profile entries must all survive.
+	res, err := s.GCWith(GCPolicy{MaxBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evicted != len(fps) {
+		t.Fatalf("evicted %d, want all %d results", res.Evicted, len(fps))
+	}
+	for i, fp := range fps {
+		if got := entryStatus(s, fp); got != Miss {
+			t.Errorf("result %d survived a 1-byte budget (%v)", i, got)
+		}
+	}
+	if _, st := s.GetProfile(pfps[0]); st != Hit {
+		t.Errorf("profile entry evicted by the result bytes budget (%v)", st)
+	}
+	if _, st := s.GetMerged(pfps[1]); st != Hit {
+		t.Errorf("merged entry evicted by the result bytes budget (%v)", st)
+	}
+}
+
+// ProfileMaxAge is the profile entries' own bound: a pass with a short
+// profile age and no result bounds must evict exactly them.
+func TestGCProfileMaxAge(t *testing.T) {
+	s, fps, pfps := gcProfileStore(t, 2)
+	res, err := s.GCWith(GCPolicy{ProfileMaxAge: time.Duration(len(fps)+1) * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evicted != 2 {
+		t.Fatalf("evicted %d, want the 2 profile entries", res.Evicted)
+	}
+	if _, st := s.GetProfile(pfps[0]); st != Miss {
+		t.Errorf("stale profile survived ProfileMaxAge (%v)", st)
+	}
+	if _, st := s.GetMerged(pfps[1]); st != Miss {
+		t.Errorf("stale merged record survived ProfileMaxAge (%v)", st)
+	}
+	for i, fp := range fps {
+		if got := entryStatus(s, fp); got != Hit {
+			t.Errorf("result %d evicted by the profile age bound (%v)", i, got)
+		}
+	}
+}
+
+// The legacy GC(a, b) wrapper applies the age bound to every kind —
+// pre-policy behaviour, preserved for callers that never split ages.
+func TestGCWrapperAgesAllKinds(t *testing.T) {
+	s, _, pfps := gcProfileStore(t, 2)
+	if _, err := s.GC(time.Hour, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, st := s.GetProfile(pfps[0]); st != Miss {
+		t.Errorf("GC(age, bytes) spared a stale profile entry (%v)", st)
+	}
+}

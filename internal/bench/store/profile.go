@@ -191,6 +191,8 @@ func VerifyEntry(data []byte, fp string) (string, error) {
 		_, err = Decode(data, fp)
 	case KindProfile:
 		_, err = DecodeProfile(data, fp)
+	case KindMerged:
+		_, err = DecodeMerged(data, fp)
 	default:
 		err = fmt.Errorf("store: unknown entry kind %q", kind)
 	}

@@ -22,6 +22,14 @@ type SeqStat struct {
 	Applied      bool `json:"applied"`
 	OrigBranches int  `json:"origBranches"`
 	NewBranches  int  `json:"newBranches"`
+	// The selected ordering (core.Ordering), recorded so the profile
+	// quality study can compare a sampled/drifted build's selections
+	// against the exact build's without re-deriving them: the explicit
+	// test order (arm indices), the omitted arms, and the Figure-8
+	// default-choice target (-1 when nothing is omitted).
+	Order   []int `json:"order,omitempty"`
+	Omitted []int `json:"omitted,omitempty"`
+	Default int   `json:"default"`
 }
 
 // Measurement mirrors sim.Measurement with a lossless output encoding:
@@ -92,8 +100,9 @@ func (r *Record) Validate() error {
 // Entry kinds. Build records predate the kind field, so theirs encodes
 // as the absent zero value and old entries decode unchanged.
 const (
-	KindBuild   = ""        // a whole build+measure Record
-	KindProfile = "profile" // a stage-2 ProfileRecord
+	KindBuild   = ""               // a whole build+measure Record
+	KindProfile = "profile"        // a stage-2 ProfileRecord
+	KindMerged  = "merged-profile" // a cross-input MergedRecord
 )
 
 // envelope is the on-disk framing of one store entry. Record is kept as

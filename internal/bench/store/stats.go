@@ -40,6 +40,11 @@ type TierStats struct {
 	TrainHits    int `json:"trainHits,omitempty"`    // stage-2 lookups served from the stage cache
 	ProfileHits  int `json:"profileHits,omitempty"`  // training runs avoided by a stored profile record (disk or fleet)
 	ProfilePuts  int `json:"profilePuts,omitempty"`  // fresh profile records persisted for later runs
+	// Profile-subsystem counters: training runs that collected sampled
+	// (non-exact) counts, and training runs whose counts were folded into
+	// a pre-existing merged profile record (fleet warm start).
+	SampledTrainRuns int `json:"sampledTrainRuns,omitempty"`
+	ProfileMergeHits int `json:"profileMergeHits,omitempty"`
 
 	// BuildSeconds is the wall-clock cost of the jobs behind Builds,
 	// keyed by workload and summed over every configuration built for
@@ -67,6 +72,8 @@ func (s *TierStats) Add(o TierStats) {
 	s.TrainHits += o.TrainHits
 	s.ProfileHits += o.ProfileHits
 	s.ProfilePuts += o.ProfilePuts
+	s.SampledTrainRuns += o.SampledTrainRuns
+	s.ProfileMergeHits += o.ProfileMergeHits
 	for w, sec := range o.BuildSeconds {
 		if s.BuildSeconds == nil {
 			s.BuildSeconds = make(map[string]float64, len(o.BuildSeconds))

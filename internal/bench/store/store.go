@@ -24,7 +24,10 @@ import (
 // SchemaVersion identifies the on-disk layout. Any change to the record
 // shape, the fingerprint inputs, or the measurement semantics must bump
 // it; entries written under any other version are treated as misses.
-const SchemaVersion = 1
+// Version 2: Options/DetectOptions gained the profile configuration
+// (changing every fingerprint), SeqStat records the selected ordering,
+// and merged-profile entries are a third record kind.
+const SchemaVersion = 2
 
 // Status classifies the outcome of a Get.
 type Status int

@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -81,7 +82,7 @@ func TestDecodeRejectsBadEntries(t *testing.T) {
 		"truncated":  good[:len(good)-10],
 		"bit flip":   bytes.Replace(good, []byte(`"wc"`), []byte(`"Wc"`), 1),
 		"emptied":    []byte("{}"),
-		"bad schema": bytes.Replace(good, []byte(`"schema": 1`), []byte(`"schema": 99`), 1),
+		"bad schema": bytes.Replace(good, []byte(fmt.Sprintf(`"schema": %d`, SchemaVersion)), []byte(`"schema": 99`), 1),
 	}
 	for name, data := range cases {
 		if _, err := Decode(data, fp); err == nil {

@@ -218,6 +218,20 @@ func (c *Client) GetProfile(ctx context.Context, fp string) (*store.ProfileRecor
 	return rec, Hit
 }
 
+// GetMerged fetches the cross-input merged profile entry for fp with
+// Get's sharing, retry, and fallback behaviour.
+func (c *Client) GetMerged(ctx context.Context, fp string) (*store.MergedRecord, Outcome) {
+	data, out := c.getRaw(ctx, fp)
+	if out != Hit {
+		return nil, out
+	}
+	rec, err := store.DecodeMerged(data, fp)
+	if err != nil {
+		return nil, Miss
+	}
+	return rec, Hit
+}
+
 // getRaw fetches the raw entry bytes for fp, deduplicating concurrent
 // requests for the same fingerprint. Every fetch — including a
 // single-flight follower's wait and a breaker-tripped instant fallback —
@@ -320,6 +334,19 @@ func (c *Client) Put(ctx context.Context, fp string, rec *store.Record) error {
 // best-effort contract.
 func (c *Client) PutProfile(ctx context.Context, fp string, rec *store.ProfileRecord) error {
 	data, err := store.EncodeProfile(fp, rec)
+	if err != nil {
+		return err
+	}
+	return c.put(ctx, fp, data)
+}
+
+// PutMerged uploads the cross-input merged profile entry for fp with
+// Put's best-effort contract. Concurrent writers of the same
+// fingerprint race last-write-wins, which is acceptable: every writer
+// uploads a superset fold of what it read, and the next training run
+// re-merges whatever survived.
+func (c *Client) PutMerged(ctx context.Context, fp string, rec *store.MergedRecord) error {
+	data, err := store.EncodeMerged(fp, rec)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,133 @@
+package storenet
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"branchreorder/internal/bench/store"
+	"branchreorder/internal/core"
+	"branchreorder/internal/pipeline"
+	"branchreorder/internal/profile"
+)
+
+func testMergedRecord() *store.MergedRecord {
+	tp := &pipeline.TrainProduct{
+		SeqProfiles: map[int]*core.SeqProfile{
+			0: {Counts: []uint64{3, 5, 2}, Total: 10},
+		},
+		OrSeqProfiles: map[int]*core.OrSeqProfile{
+			1: {N: 2, Combos: []uint64{1, 2, 3, 4}, Total: 10},
+		},
+		NumSeqs:   1,
+		NumOrSeqs: 1,
+	}
+	rec := &store.MergedRecord{HalfLife: 2}
+	rec.Merge(store.TrainDigest([]byte("input-a")), store.FromTrain(tp))
+	rec.Merge(store.TrainDigest([]byte("input-b")), store.FromTrain(tp))
+	return rec
+}
+
+func testMergedFingerprint(source string) string {
+	return store.MergedFingerprint(source,
+		pipeline.FrontendOptions{Optimize: true},
+		pipeline.DetectOptions{Profile: profile.Config{Merge: true}})
+}
+
+// Merged-profile entries ride the same wire as builds and profiles: a
+// PutMerged then GetMerged must round-trip the record exactly, and the
+// entry must stay invisible to the other kinds' getters.
+func TestServerMergedRoundTrip(t *testing.T) {
+	srv, hs := newTestServer(t)
+	c := testClient(t, hs.URL, ClientConfig{})
+	ctx := context.Background()
+	fp, rec := testMergedFingerprint("a"), testMergedRecord()
+
+	if _, out := c.GetMerged(ctx, fp); out != Miss {
+		t.Fatalf("GetMerged before Put: %v, want miss", out)
+	}
+	if err := c.PutMerged(ctx, fp, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, out := c.GetMerged(ctx, fp)
+	if out != Hit {
+		t.Fatalf("GetMerged after Put: %v, want hit", out)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Errorf("round trip changed the record:\ngot  %+v\nwant %+v", got, rec)
+	}
+	// Kind isolation: the build and profile getters must not serve it.
+	if _, out := c.Get(ctx, fp); out == Hit {
+		t.Error("build Get served a merged-profile entry")
+	}
+	if _, out := c.GetProfile(ctx, fp); out == Hit {
+		t.Error("profile Get served a merged-profile entry")
+	}
+	if st := srv.Stats(); st.Puts != 1 {
+		t.Errorf("stats after round trip: %+v", st)
+	}
+}
+
+// Hostile uploads of the merged-profile kind face the same validation
+// gate as the other two kinds: nothing invalid may land.
+func TestServerMergedPutRejects(t *testing.T) {
+	srv, hs := newTestServer(t)
+	ctx := context.Background()
+	fpA, fpB := testMergedFingerprint("a"), testMergedFingerprint("b")
+	good, err := store.EncodeMerged(fpA, testMergedRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	put := func(fp string, body []byte) int {
+		t.Helper()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, hs.URL+entryPath(fp), bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.ContentLength = int64(len(body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drain(resp)
+		return resp.StatusCode
+	}
+
+	cases := []struct {
+		name string
+		fp   string
+		body []byte
+	}{
+		{"fingerprint mismatch", fpB, good},
+		{"checksum break", fpA, bytes.Replace(good, []byte(`"total": 10`), []byte(`"total": 11`), 1)},
+		{"invalid half-life", fpA, bytes.Replace(good, []byte(`"halfLife": 2`), []byte(`"halfLife": 0`), 1)},
+		{"unknown kind", fpA, bytes.Replace(good, []byte(`"kind": "merged-profile"`), []byte(`"kind": "bogus"`), 1)},
+		{"truncated", fpA, good[:len(good)/2]},
+	}
+	for _, tc := range cases {
+		if code := put(tc.fp, tc.body); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, code)
+		}
+	}
+
+	if st := srv.Stats(); st.Puts != 0 || st.PutRejects != int64(len(cases)) {
+		t.Errorf("stats after rejects: %+v, want 0 puts / %d rejects", st, len(cases))
+	}
+	// Nothing hostile landed: both keys still miss.
+	c := testClient(t, hs.URL, ClientConfig{})
+	for _, fp := range []string{fpA, fpB} {
+		if _, out := c.GetMerged(ctx, fp); out != Miss {
+			t.Errorf("poisoned pool: %s landed", fp[:8])
+		}
+	}
+	// The same bytes through the validation gate intact do land.
+	if code := put(fpA, good); code != http.StatusNoContent {
+		t.Fatalf("valid merged PUT: status %d", code)
+	}
+	if got, out := c.GetMerged(ctx, fpA); out != Hit || got.HalfLife != 2 {
+		t.Errorf("valid entry not served: %v %+v", out, got)
+	}
+}

@@ -41,7 +41,7 @@ type ServerStats struct {
 // safe for concurrent use.
 type Server struct {
 	st    *store.Store
-	queue *queue.Queue                        // nil for a plain cache server
+	queue *queue.Queue                             // nil for a plain cache server
 	logf  func(format string, args ...interface{}) // request log sink; nil means off
 
 	hits, misses, invalid        atomic.Int64
@@ -163,6 +163,15 @@ func (s *Server) GC(maxAge time.Duration, maxBytes int64) (store.GCResult, error
 	return res, err
 }
 
+// GCWith collects under a split policy — profile-kind entries policed
+// by their own age bound, exempt from the result bytes budget — and
+// folds evictions into the metrics.
+func (s *Server) GCWith(p store.GCPolicy) (store.GCResult, error) {
+	res, err := s.st.GCWith(p)
+	s.evictions.Add(int64(res.Evicted))
+	return res, err
+}
+
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	fp := r.PathValue("fp")
 	if !validFingerprint(fp) {
@@ -232,6 +241,15 @@ func (s *Server) storeValidated(fp string, body []byte) error {
 			return err
 		}
 		if err := s.st.PutProfile(fp, rec); err != nil {
+			return &writeError{err}
+		}
+		return nil
+	case store.KindMerged:
+		rec, err := store.DecodeMerged(body, fp)
+		if err != nil {
+			return err
+		}
+		if err := s.st.PutMerged(fp, rec); err != nil {
 			return &writeError{err}
 		}
 		return nil

@@ -8,6 +8,7 @@ import (
 	"branchreorder/internal/ir"
 	"branchreorder/internal/lower"
 	"branchreorder/internal/opt"
+	"branchreorder/internal/profile"
 )
 
 // BuildResult carries both executables of the paper's comparison plus the
@@ -85,11 +86,15 @@ func Build(src string, train []byte, o Options) (*BuildResult, error) {
 	}
 	// Most builds have no common-successor sequences; profHook collapses
 	// the merged two-closure dispatch to a single hook (or none) then.
+	// Sampling mirrors TrainStage exactly so staged and monolithic builds
+	// stay byte-identical under every profile configuration.
+	sampler := profile.NewSampler(o.Profile, out.Profile, out.OrProfile)
 	m := &interp.FastMachine{Code: code, Input: train,
-		OnProf: profHook(out.Profile, out.OrProfile)}
+		OnProf: sampler.Hook(profHook(out.Profile, out.OrProfile))}
 	if _, err := m.Run(); err != nil {
 		return nil, fmt.Errorf("training run: %w", err)
 	}
+	sampler.Scale()
 
 	// Second pass: reorder each sequence that profits.
 	for _, s := range out.Sequences {

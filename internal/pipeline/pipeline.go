@@ -20,6 +20,7 @@ import (
 	"branchreorder/internal/ir"
 	"branchreorder/internal/lower"
 	"branchreorder/internal/opt"
+	"branchreorder/internal/profile"
 )
 
 // Options configures a build.
@@ -37,6 +38,11 @@ type Options struct {
 	// transformation for ablation studies; the zero value is the full
 	// transformation.
 	Transform core.TransformOptions
+	// Profile configures the profile lifecycle — sampled collection,
+	// training-input drift, and cross-input merging with decay. The zero
+	// value is the paper's exact single-input profile and leaves every
+	// build byte-identical to a pipeline without the field.
+	Profile profile.Config
 }
 
 // Frontend parses, checks and lowers source, returning an optimized,

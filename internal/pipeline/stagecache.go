@@ -3,6 +3,7 @@ package pipeline
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"hash"
 	"sync"
@@ -50,6 +51,18 @@ type ProfileStore interface {
 	PutProfile(src string, train []byte, fo FrontendOptions, d DetectOptions, tp *TrainProduct)
 }
 
+// ProfileMerger is the optional merging extension of a ProfileStore:
+// fold a fresh training product into the persistent merged profile for
+// (src, fo, d) and return the decayed fold the build should consume.
+// The bool reports whether a previously accumulated record contributed
+// — the warm-start signal surfaced as ProfileMergeHits. Implementations
+// without a persistent tier return (tp, false). Builds use merging when
+// d.Profile.Merge is set and the attached ProfileStore implements this
+// interface.
+type ProfileMerger interface {
+	MergeProfile(src string, train []byte, fo FrontendOptions, d DetectOptions, tp *TrainProduct) (*TrainProduct, bool)
+}
+
 // StageStats counts a cache's per-stage activity.
 type StageStats struct {
 	// FrontendRuns counts stage-1 computations; FrontendHits counts
@@ -62,6 +75,12 @@ type StageStats struct {
 	TrainRuns      int
 	TrainHits      int
 	TrainStoreHits int
+	// SampledTrainRuns counts the subset of TrainRuns that collected
+	// sampled (non-exact) counts; ProfileMergeHits counts training runs
+	// whose counts were folded into a pre-existing merged profile record
+	// (fleet warm start).
+	SampledTrainRuns int
+	ProfileMergeHits int
 }
 
 // stageEntry is one single-flight slot. done is closed once val/err are
@@ -108,12 +127,17 @@ func frontendKey(src string, fo FrontendOptions) string {
 }
 
 // trainKey derives the stage-2 content address from the stage-1 key, the
-// training input, and the detection configuration.
+// training input, and the detection configuration (which includes the
+// profile configuration: sampled counts are a different product).
 func trainKey(frontKey string, train []byte, d DetectOptions) string {
 	h := sha256.New()
 	keySection(h, "frontend-key", []byte(frontKey))
 	keySection(h, "train", train)
-	keySection(h, "detect", []byte(fmt.Sprintf("common-succ=%t", d.CommonSuccessor)))
+	enc, err := json.Marshal(d)
+	if err != nil {
+		panic(fmt.Sprintf("pipeline: marshal DetectOptions: %v", err))
+	}
+	keySection(h, "detect", enc)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -207,8 +231,14 @@ func (c *StageCache) Train(src string, train []byte, fo FrontendOptions, d Detec
 
 // train computes one stage-2 product: persistent tier first, then the
 // real training run (written back to the persistent tier on success).
+//
+// Merge mode inverts the flow: the training run always executes (each
+// run is a fresh contribution, so a cached solo profile must not
+// short-circuit it) and its counts are folded through the persistent
+// merged record, whose decayed fold is what the build consumes.
 func (c *StageCache) train(src string, train []byte, fo FrontendOptions, d DetectOptions) (*TrainProduct, error) {
-	if c.Profiles != nil {
+	merge := d.Profile.Merge
+	if c.Profiles != nil && !merge {
 		if tp, ok := c.Profiles.GetProfile(src, train, fo, d); ok {
 			c.mu.Lock()
 			c.stats.TrainStoreHits++
@@ -222,10 +252,27 @@ func (c *StageCache) train(src string, train []byte, fo FrontendOptions, d Detec
 	}
 	c.mu.Lock()
 	c.stats.TrainRuns++
+	if d.Profile.Sampling() {
+		c.stats.SampledTrainRuns++
+	}
 	c.mu.Unlock()
 	tp, err := TrainStage(front, train, d)
 	if err != nil {
 		return nil, err
+	}
+	if merge {
+		if merger, ok := c.Profiles.(ProfileMerger); ok {
+			folded, reused := merger.MergeProfile(src, train, fo, d, tp)
+			if folded != nil {
+				if reused {
+					c.mu.Lock()
+					c.stats.ProfileMergeHits++
+					c.mu.Unlock()
+				}
+				return folded, nil
+			}
+		}
+		return tp, nil
 	}
 	if c.Profiles != nil {
 		c.Profiles.PutProfile(src, train, fo, d, tp)

@@ -8,6 +8,7 @@ import (
 	"branchreorder/internal/ir"
 	"branchreorder/internal/lower"
 	"branchreorder/internal/opt"
+	"branchreorder/internal/profile"
 )
 
 // The staged build pipeline. Build runs the paper's Figure 2 scheme
@@ -48,15 +49,18 @@ func (o Options) Frontend() FrontendOptions {
 }
 
 // DetectOptions is the subset of Options (beyond the frontend's) that
-// determines the stage-2 product.
+// determines the stage-2 product. The profile configuration belongs
+// here: sampled or biased counts are a different product than exact
+// ones, so they must never share a stage-2 key or store fingerprint.
 type DetectOptions struct {
-	CommonSuccessor bool `json:"commonSuccessor"`
+	CommonSuccessor bool           `json:"commonSuccessor"`
+	Profile         profile.Config `json:"profile"`
 }
 
 // Detection returns the detection-relevant subset of o — the stage-2 key
 // (combined with the frontend key and the training input).
 func (o Options) Detection() DetectOptions {
-	return DetectOptions{CommonSuccessor: o.CommonSuccessor}
+	return DetectOptions{CommonSuccessor: o.CommonSuccessor, Profile: o.Profile}
 }
 
 // FrontendProduct is the cached stage-1 result. Prog is immutable by
@@ -142,10 +146,15 @@ func TrainStage(front *FrontendProduct, train []byte, d DetectOptions) (*TrainPr
 	if err != nil {
 		return nil, fmt.Errorf("training run: %w", err)
 	}
-	m := &interp.FastMachine{Code: code, Input: train, OnProf: profHook(prof, orProf)}
+	// The sampler thins the event stream per d.Profile and scales the
+	// surviving counts back to exact shape after the run; a zero config
+	// leaves the hook untouched.
+	sampler := profile.NewSampler(d.Profile, prof, orProf)
+	m := &interp.FastMachine{Code: code, Input: train, OnProf: sampler.Hook(profHook(prof, orProf))}
 	if _, err := m.Run(); err != nil {
 		return nil, fmt.Errorf("training run: %w", err)
 	}
+	sampler.Scale()
 	return &TrainProduct{
 		SeqProfiles:   prof.Seqs,
 		OrSeqProfiles: orProf.Seqs,

@@ -1,0 +1,147 @@
+// Package profile owns the production side of the paper's profile
+// lifecycle: collect → sample → merge/decay → persist → select.
+//
+// The paper trains reordering on exact head-of-sequence counts from one
+// training input. Production PGO lives with less: counters are sampled
+// (full instrumentation is too expensive to leave on), profiles are
+// merged across many training inputs (no single input is
+// representative), and the merged profile is stale by the time it is
+// consumed. This package provides the sampled-collection layer (Sampler)
+// behind the existing core.Profile/core.OrProfile hooks and the
+// configuration (Config) that the build pipeline, the content-addressed
+// store, and the brbench -profile-study quality harness all key on.
+//
+// Everything is deterministic by construction: sampling decisions come
+// from a seeded splitmix64 stream per sequence, never from time or
+// global randomness, so the same seed produces bit-identical sampled
+// counts at any parallelism — the property every byte-identity contract
+// in this repo is built on.
+package profile
+
+// Mode selects how training-run events are collected.
+type Mode int
+
+const (
+	// Exact is the paper's instrumentation: every head-of-sequence
+	// execution is counted. The zero value, so a zero Config changes
+	// nothing about a build.
+	Exact Mode = iota
+	// EveryNth keeps one event in Rate per sequence (systematic
+	// sampling with a seeded per-sequence phase), then scales the kept
+	// counts back up by Rate.
+	EveryNth
+	// Reservoir bounds each sequence's retained count mass: events are
+	// accepted with probability 2^-level, and whenever a sequence's
+	// retained total reaches Capacity its counts are halved and the
+	// level increases. Final counts are scaled back up by 2^level.
+	Reservoir
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Exact:
+		return "exact"
+	case EveryNth:
+		return "nth"
+	case Reservoir:
+		return "reservoir"
+	default:
+		return "mode?"
+	}
+}
+
+// Drift selects which input a build trains on, relative to the input it
+// is measured on — the staleness axis of the quality study.
+type Drift int
+
+const (
+	// DriftCross is the paper's split: train on the workload's training
+	// input, measure on its test input. The zero value.
+	DriftCross Drift = iota
+	// DriftNone trains on the test input itself — the zero-staleness
+	// upper bound a production profile can only approach.
+	DriftNone
+)
+
+func (d Drift) String() string {
+	switch d {
+	case DriftCross:
+		return "train→test"
+	case DriftNone:
+		return "test→test"
+	default:
+		return "drift?"
+	}
+}
+
+// DefaultReservoirCapacity bounds a sequence's retained count mass when
+// Config.Capacity is unset: small enough that a hot loop's counters halve
+// several times over a training run, large enough that the halving error
+// stays far below the P/C-ratio gaps Theorem 3 discriminates.
+const DefaultReservoirCapacity = 4096
+
+// Config is the profile-lifecycle configuration of one build. It is a
+// flat comparable struct so it can ride inside pipeline option keys,
+// engine memo keys, and store fingerprints; every field is omitempty so
+// the zero value — the paper's exact, single-input, unmerged profile —
+// encodes as an empty object and perturbs nothing.
+type Config struct {
+	// Mode and Rate configure sampled collection. Rate r means one event
+	// in r is kept (EveryNth) or the acceptance budget is tuned for a
+	// 1/r stream (Reservoir); values <= 1 keep every event.
+	Mode Mode `json:"mode,omitempty"`
+	Rate int  `json:"rate,omitempty"`
+	// Seed drives every sampling decision. Same seed, same counts.
+	Seed uint64 `json:"seed,omitempty"`
+	// Capacity is the Reservoir mode's per-sequence retained-count bound
+	// (DefaultReservoirCapacity when 0).
+	Capacity int `json:"capacity,omitempty"`
+	// Drift selects the training input (see Drift).
+	Drift Drift `json:"drift,omitempty"`
+	// Merge folds this build's training counts through the fleet's
+	// persistent merged profile for the same (source, frontend,
+	// detection) instead of using them alone: older training inputs
+	// contribute with exponentially decayed weight. Requires a
+	// persistent profile tier; without one the solo counts are used.
+	Merge bool `json:"merge,omitempty"`
+	// HalfLife is the decay rate for Merge: a contribution's weight
+	// halves every HalfLife generations it falls behind the newest
+	// contribution (1 when unset).
+	HalfLife int `json:"halfLife,omitempty"`
+	// Bias corrupts the scaled counts (added to each sequence's first
+	// arm) — the quality harness's injected-bias proof that the study
+	// actually measures selection quality. Never set it outside tests
+	// and the -profile-bias flag.
+	Bias uint64 `json:"bias,omitempty"`
+}
+
+// Sampling reports whether the configuration actually samples — i.e.
+// whether the training-run hook differs from exact collection. An
+// EveryNth or Reservoir config at rate <= 1 still runs the sampling
+// path (it keeps every event and scales by 1), which the differential
+// tests rely on being bit-identical to Exact.
+func (c Config) Sampling() bool { return c.Mode != Exact }
+
+// EffectiveRate is the sampling rate with the <= 1 floor applied.
+func (c Config) EffectiveRate() uint64 {
+	if c.Rate <= 1 {
+		return 1
+	}
+	return uint64(c.Rate)
+}
+
+// EffectiveCapacity is the reservoir bound with the default applied.
+func (c Config) EffectiveCapacity() uint64 {
+	if c.Capacity <= 0 {
+		return DefaultReservoirCapacity
+	}
+	return uint64(c.Capacity)
+}
+
+// EffectiveHalfLife is the merge decay rate with the >= 1 floor applied.
+func (c Config) EffectiveHalfLife() int {
+	if c.HalfLife < 1 {
+		return 1
+	}
+	return c.HalfLife
+}

@@ -1,0 +1,216 @@
+package profile
+
+import "branchreorder/internal/core"
+
+// splitmix64 is the standard 64-bit mixer (Vigna); one step advances the
+// state and returns a well-distributed output word. It is the only
+// randomness source in the package, so sampled counts are a pure
+// function of (Config, training input).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d4a33df8d966d7
+	return z ^ (z >> 31)
+}
+
+// mix derives a per-sequence stream from the configured seed.
+func mix(seed uint64, seqID int) uint64 {
+	return splitmix64(splitmix64(seed) ^ splitmix64(uint64(seqID)*0x9e3779b97f4a7c15))
+}
+
+// seqState is the sampler's per-sequence state.
+type seqState struct {
+	keep   bool   // latched decision for the event group in flight
+	events uint64 // head executions seen so far
+	phase  uint64 // EveryNth: which residue mod rate is kept
+	level  uint   // Reservoir: acceptance probability is 2^-level
+	rng    uint64 // Reservoir: per-sequence splitmix64 state
+}
+
+// Sampler thins the training-run profile event stream according to a
+// Config and scales the surviving counts back to exact-profile shape.
+// It wraps the combined Profile/OrProfile hook; wiring is:
+//
+//	s := profile.NewSampler(cfg, prof, orProf)
+//	machine.OnProf = s.Hook(combinedHook)
+//	... run training input ...
+//	s.Scale()
+//
+// One head execution of an or-sequence emits N consecutive ProfCond
+// events (sub 0..N-1) that the OrProfile hook assembles into a joint
+// outcome mask, so the sampler decides keep/drop once per group — at
+// sub == 0 — and latches that decision for the group's remaining subs.
+// Dropping individual subs would corrupt the mask assembly.
+//
+// For the same reason, Reservoir halving is deferred to the next
+// sub == 0 event of the over-capacity sequence: between groups the
+// pending mask is fully committed and the count arrays are safe to
+// rewrite in place.
+type Sampler struct {
+	cfg      Config
+	rate     uint64
+	capacity uint64
+	prof     map[int]*core.SeqProfile
+	orProf   map[int]*core.OrSeqProfile
+	seqs     map[int]*seqState
+}
+
+// NewSampler builds a sampler over the training profiles about to be
+// filled. The maps are retained: Reservoir mode rewrites counts in place
+// when a sequence overflows its capacity, and Scale rewrites them at the
+// end of the run.
+func NewSampler(cfg Config, prof *core.Profile, orProf *core.OrProfile) *Sampler {
+	s := &Sampler{
+		cfg:      cfg,
+		rate:     cfg.EffectiveRate(),
+		capacity: cfg.EffectiveCapacity(),
+		seqs:     map[int]*seqState{},
+	}
+	if prof != nil {
+		s.prof = prof.Seqs
+	}
+	if orProf != nil {
+		s.orProf = orProf.Seqs
+	}
+	return s
+}
+
+// initLevel is the Reservoir starting level: the smallest L with
+// 2^L >= rate, so the initial acceptance probability matches the
+// configured 1-in-rate budget before any capacity-driven escalation.
+func (s *Sampler) initLevel() uint {
+	var l uint
+	for uint64(1)<<l < s.rate {
+		l++
+	}
+	return l
+}
+
+func (s *Sampler) state(seqID int) *seqState {
+	st := s.seqs[seqID]
+	if st == nil {
+		st = &seqState{phase: mix(s.cfg.Seed, seqID), rng: mix(s.cfg.Seed+1, seqID)}
+		if s.cfg.Mode == Reservoir {
+			st.level = s.initLevel()
+		}
+		st.phase %= s.rate
+		s.seqs[seqID] = st
+	}
+	return st
+}
+
+// Hook wraps the exact-collection profile hook with the sampling
+// decision. With Exact mode the hook is returned unchanged, so a zero
+// Config is bit-for-bit the paper's instrumentation.
+func (s *Sampler) Hook(next func(seqID, sub int, v int64)) func(seqID, sub int, v int64) {
+	if next == nil || !s.cfg.Sampling() {
+		return next
+	}
+	return func(seqID, sub int, v int64) {
+		st := s.state(seqID)
+		if sub == 0 {
+			st.keep = s.decide(seqID, st)
+		}
+		if st.keep {
+			next(seqID, sub, v)
+		}
+	}
+}
+
+// decide runs once per event group (head execution) of a sequence.
+func (s *Sampler) decide(seqID int, st *seqState) bool {
+	switch s.cfg.Mode {
+	case EveryNth:
+		keep := st.events%s.rate == st.phase
+		st.events++
+		return keep
+	case Reservoir:
+		if sp := s.prof[seqID]; sp != nil && sp.Total >= s.capacity {
+			halveSeq(sp)
+			st.level++
+		} else if op := s.orProf[seqID]; op != nil && op.Total >= s.capacity {
+			halveOr(op)
+			st.level++
+		}
+		if st.level == 0 {
+			return true
+		}
+		st.rng = splitmix64(st.rng)
+		return st.rng&(1<<st.level-1) == 0
+	default:
+		return true
+	}
+}
+
+func halveSeq(sp *core.SeqProfile) {
+	var total uint64
+	for i, c := range sp.Counts {
+		sp.Counts[i] = c >> 1
+		total += c >> 1
+	}
+	sp.Total = total
+}
+
+func halveOr(op *core.OrSeqProfile) {
+	var total uint64
+	for i, c := range op.Combos {
+		op.Combos[i] = c >> 1
+		total += c >> 1
+	}
+	op.Total = total
+}
+
+// Scale rewrites the retained counts back to exact-profile magnitude
+// after the training run: EveryNth multiplies by the sampling rate;
+// Reservoir multiplies by 2^level (an event retained at level j survived
+// the j-level acceptance test and was then halved level−j times, so
+// every retained unit represents 2^level original events — the scaling
+// is unbiased). Totals are recomputed as the sum of the scaled counts so
+// the count/total invariant the selection code divides by still holds.
+// Finally the configured Bias, if any, corrupts each executed sequence's
+// first counter — the quality harness's proof that its metrics react to
+// profile damage.
+func (s *Sampler) Scale() {
+	if s.cfg.Sampling() {
+		for id, st := range s.seqs {
+			factor := s.rate
+			if s.cfg.Mode == Reservoir {
+				factor = 1 << st.level
+			}
+			if factor <= 1 {
+				continue
+			}
+			if sp := s.prof[id]; sp != nil {
+				var total uint64
+				for i, c := range sp.Counts {
+					sp.Counts[i] = c * factor
+					total += c * factor
+				}
+				sp.Total = total
+			}
+			if op := s.orProf[id]; op != nil {
+				var total uint64
+				for i, c := range op.Combos {
+					op.Combos[i] = c * factor
+					total += c * factor
+				}
+				op.Total = total
+			}
+		}
+	}
+	if s.cfg.Bias > 0 {
+		for _, sp := range s.prof {
+			if sp.Total > 0 && len(sp.Counts) > 0 {
+				sp.Counts[0] += s.cfg.Bias
+				sp.Total += s.cfg.Bias
+			}
+		}
+		for _, op := range s.orProf {
+			if op.Total > 0 && len(op.Combos) > 0 {
+				op.Combos[0] += s.cfg.Bias
+				op.Total += s.cfg.Bias
+			}
+		}
+	}
+}
