@@ -237,8 +237,9 @@ func BenchmarkBuild(b *testing.B) {
 }
 
 // BenchmarkInterp times raw execution of optimized binaries on both
-// engines: the flat-decoded fast engine (the measurement path) and the
-// block-walking reference interpreter it is differentially tested
+// engines: the flat-decoded fast engine (the measurement path, with its
+// default superinstruction fusion and with fusion off) and the
+// block-walking reference interpreter both are differentially tested
 // against. sort is the suite's heaviest workload by dynamic instruction
 // count (Table 4); wc is the classic light one.
 func BenchmarkInterp(b *testing.B) {
@@ -256,9 +257,22 @@ func BenchmarkInterp(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		unfused, err := interp.DecodeWith(front.Prog, interp.DecodeOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.Run(name+"/fast", func(b *testing.B) {
 			b.SetBytes(int64(len(input)))
 			m := &interp.FastMachine{Code: code, Input: input}
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/fast-nofuse", func(b *testing.B) {
+			b.SetBytes(int64(len(input)))
+			m := &interp.FastMachine{Code: unfused, Input: input}
 			for i := 0; i < b.N; i++ {
 				if _, err := m.Run(); err != nil {
 					b.Fatal(err)
@@ -301,12 +315,20 @@ func BenchmarkSimWithPredictors(b *testing.B) {
 		b.Fatal(err)
 	}
 	input := w.Test()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(front.Prog, input, nil); err != nil {
-			b.Fatal(err)
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(front.Prog, input, nil); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
+	b.Run("nofuse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunWith(front.Prog, input, nil, sim.Options{NoFuse: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkPredictorBattery times observing one synthetic branch stream

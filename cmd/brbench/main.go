@@ -57,6 +57,7 @@ import (
 	"branchreorder/internal/bench/storenet"
 	"branchreorder/internal/lower"
 	"branchreorder/internal/pipeline"
+	"branchreorder/internal/sim"
 	"branchreorder/internal/workload"
 )
 
@@ -99,6 +100,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cacheGC   = fs.Duration("cache-gc", 0, "before running, evict -cache-dir entries older than this age")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		noFuse    = fs.Bool("no-fuse", false, "measure on the unfused decode (superinstructions off) — a differential-debugging escape hatch; results are byte-identical, only speed changes")
+		superinst = fs.Bool("superinst-report", false, "mine dynamic adjacent-op patterns over the selected workloads plus random CFGs and print the ranked table with the curated fusion set's coverage")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -183,6 +186,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(fmt.Errorf("-profile-rates, -profile-seed and -profile-bias configure the study; add -profile-study"))
 	case *profMerge && *cacheDir == "" && *storeURL == "" && *workerURL == "" && *collect == "":
 		return fail(fmt.Errorf("-profile-merge persists profiles across runs; add -cache-dir DIR or -store-url URL"))
+	case *superinst && (*ablation || *profStudy || *table != 0 || *figure != 0 || *jsonOut != "" || *export != "" || *merge != "" || shardN > 0 || farmRoles > 0):
+		return fail(fmt.Errorf("-superinst-report renders its own table from fresh mining runs; drop the other modes"))
+	case *superinst && *noFuse:
+		return fail(fmt.Errorf("-superinst-report mines the unfused stream already; drop -no-fuse"))
 	}
 	var rates []int
 	if *profStudy {
@@ -194,6 +201,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	names, ws, err := selectWorkloads(*workloads)
 	if err != nil {
 		return fail(err)
+	}
+
+	// The mining report measures on the reference interpreter directly;
+	// no engine, no caches.
+	if *superinst {
+		return runSuperinstReport(ws, stdout, stderr)
 	}
 
 	// Tables 2 and 3 need no measurements.
@@ -230,6 +243,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		progress = nil
 	}
 	engine := bench.NewEngine(*jobs, progress)
+	engine.Measure = sim.Options{NoFuse: *noFuse}
 	if *cacheDir != "" {
 		st, err := store.Open(*cacheDir)
 		if err != nil {
@@ -306,6 +320,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 					fmt.Fprintf(stderr, ", %d merged-profile reuses", st.ProfileMergeHits)
 				}
 				fmt.Fprintf(stderr, "\n")
+			}
+			if st.DecodedOps > 0 {
+				fmt.Fprintf(stderr, "brbench: superinstructions: %d fused sites absorbing %d of %d decoded ops (%.1f%% static coverage) across fresh builds\n",
+					st.FusedSites, st.FusedOps, st.DecodedOps, 100*float64(st.FusedOps)/float64(st.DecodedOps))
 			}
 			if len(st.BuildSeconds) > 0 {
 				names := make([]string, 0, len(st.BuildSeconds))

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"branchreorder/internal/interp"
+	"branchreorder/internal/lower"
+	"branchreorder/internal/pipeline"
+	"branchreorder/internal/randprog"
+	"branchreorder/internal/workload"
+)
+
+// Random-CFG arm of the mining corpus: the same generator the engine
+// differential suite fuzzes with, so pattern selection is not
+// overfitted to the roster's code shapes. Seeds and inputs are fixed —
+// the report is reproducible byte-for-byte.
+const (
+	superinstRandProgs = 40
+	superinstRandSteps = 1 << 15
+)
+
+// runSuperinstReport mines the dynamic adjacent-op n-grams of the
+// selected workloads (compiled exactly the way the Interp benchmarks
+// measure them) plus the random-CFG corpus, and prints the ranked
+// pattern table that justifies the curated fusion set in
+// internal/interp, with that set's measured dynamic coverage.
+func runSuperinstReport(ws []workload.Workload, stdout, stderr io.Writer) int {
+	total := interp.NewMineResult()
+	type row struct {
+		name string
+		res  *interp.MineResult
+	}
+	rows := make([]row, 0, len(ws)+1)
+	for _, w := range ws {
+		front, err := pipeline.Frontend(w.Source, pipeline.Options{Switch: lower.SetI, Optimize: true})
+		if err != nil {
+			fmt.Fprintf(stderr, "brbench: %s: %v\n", w.Name, err)
+			return 1
+		}
+		r := interp.NewMineResult()
+		if err := r.Mine(front.Prog, w.Test(), 0); err != nil {
+			fmt.Fprintf(stderr, "brbench: %s: %v\n", w.Name, err)
+			return 1
+		}
+		rows = append(rows, row{w.Name, r})
+		total.Merge(r)
+	}
+	randRes := interp.NewMineResult()
+	for seed := 0; seed < superinstRandProgs; seed++ {
+		p := randprog.New(uint64(seed))
+		if err := randRes.Mine(p, workload.FuzzInput(uint64(seed)+1000, 200), superinstRandSteps); err != nil {
+			fmt.Fprintf(stderr, "brbench: random cfg seed %d: %v\n", seed, err)
+			return 1
+		}
+	}
+	rows = append(rows, row{"random-cfgs", randRes})
+	total.Merge(randRes)
+
+	fmt.Fprintf(stdout, "Superinstruction mining report\n")
+	fmt.Fprintf(stdout, "corpus: %d workload programs (heuristic set I, optimized, test inputs) + %d random CFGs (seeds 0-%d)\n",
+		len(ws), superinstRandProgs, superinstRandProgs-1)
+	fmt.Fprintf(stdout, "dynamic dispatches observed: %d\n\n", total.Dispatches())
+
+	fmt.Fprintf(stdout, "Top adjacent pairs by dynamic weight:\n")
+	fmt.Fprintf(stdout, "  %-22s %14s %7s\n", "pattern", "count", "share")
+	for _, pc := range total.TopGrams(2, 20) {
+		fmt.Fprintf(stdout, "  %-22s %14d %6.2f%%\n", pc.Pattern, pc.Count, pc.Share)
+	}
+	fmt.Fprintf(stdout, "\nTop adjacent triples by dynamic weight:\n")
+	fmt.Fprintf(stdout, "  %-22s %14s %7s\n", "pattern", "count", "share")
+	for _, pc := range total.TopGrams(3, 12) {
+		fmt.Fprintf(stdout, "  %-22s %14d %6.2f%%\n", pc.Pattern, pc.Count, pc.Share)
+	}
+	fmt.Fprintf(stdout, "\nTop adjacent quads by dynamic weight:\n")
+	fmt.Fprintf(stdout, "  %-22s %14s %7s\n", "pattern", "count", "share")
+	for _, pc := range total.TopGrams(4, 8) {
+		fmt.Fprintf(stdout, "  %-22s %14d %6.2f%%\n", pc.Pattern, pc.Count, pc.Share)
+	}
+	fmt.Fprintf(stdout, "\nTop adjacent quints by dynamic weight:\n")
+	fmt.Fprintf(stdout, "  %-26s %14s %7s\n", "pattern", "count", "share")
+	for _, pc := range total.TopGrams(5, 8) {
+		fmt.Fprintf(stdout, "  %-26s %14d %6.2f%%\n", pc.Pattern, pc.Count, pc.Share)
+	}
+
+	fmt.Fprintf(stdout, "\nCurated fusion set, matched greedily as Decode fuses:\n")
+	fmt.Fprintf(stdout, "  %-22s %14s %7s\n", "pattern", "count", "share")
+	for _, pc := range total.CuratedDynamic() {
+		fmt.Fprintf(stdout, "  %-22s %14d %6.2f%%\n", pc.Pattern, pc.Count, pc.Share)
+	}
+	fmt.Fprintf(stdout, "\ndynamic coverage: %.1f%% of dispatches execute inside a superinstruction\n",
+		total.DynamicCoverage())
+	fmt.Fprintf(stdout, "dispatch reduction: %.1f%% of dispatches eliminated\n\n", total.DispatchReduction())
+
+	fmt.Fprintf(stdout, "Residual dispatches outside any superinstruction, by op:\n")
+	fmt.Fprintf(stdout, "  %-22s %14s %7s\n", "op", "count", "share")
+	for _, pc := range total.Residual(12) {
+		fmt.Fprintf(stdout, "  %-22s %14d %6.2f%%\n", pc.Pattern, pc.Count, pc.Share)
+	}
+
+	fmt.Fprintf(stdout, "Per-program dynamic coverage:\n")
+	for _, r := range rows {
+		fmt.Fprintf(stdout, "  %-12s %12d dispatches  %5.1f%% covered  %5.1f%% eliminated\n",
+			r.name, r.res.Dispatches(), r.res.DynamicCoverage(), r.res.DispatchReduction())
+	}
+	return 0
+}

@@ -213,9 +213,25 @@ func run(out string) error {
 		if err != nil {
 			return err
 		}
+		unfused, err := interp.DecodeWith(front.Prog, interp.DecodeOptions{})
+		if err != nil {
+			return err
+		}
 		record("Interp/"+name+"/fast", testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			m := &interp.FastMachine{Code: code, Input: input}
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		// Same engine without superinstruction fusion (cmp+br folding
+		// only): the within-document pair fast vs fast-nofuse carries the
+		// fusion speedup claim and is machine-independent.
+		record("Interp/"+name+"/fast-nofuse", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			m := &interp.FastMachine{Code: unfused, Input: input}
 			for i := 0; i < b.N; i++ {
 				if _, err := m.Run(); err != nil {
 					b.Fatal(err)
@@ -279,6 +295,17 @@ func run(out string) error {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := sim.Run(front.Prog, input, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	// The same end-to-end measurement with superinstructions off: the
+	// pair records the fusion win on the full sim.Run path (decode +
+	// execute + predictor bank), not just the bare dispatch loop.
+	record("SimWithPredictors/wc-nofuse", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunWith(front.Prog, input, nil, sim.Options{NoFuse: true}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -13,6 +13,7 @@ import (
 	"branchreorder/internal/bench/storenet"
 	"branchreorder/internal/lower"
 	"branchreorder/internal/pipeline"
+	"branchreorder/internal/sim"
 	"branchreorder/internal/workload"
 )
 
@@ -47,6 +48,12 @@ type Engine struct {
 	sem      chan struct{}
 	disk     *store.Store     // optional second cache tier; nil means memory-only
 	remote   *storenet.Client // optional third tier: a fleet-shared brstored server
+
+	// Measure configures the measurement engine for every fresh build
+	// (e.g. superinstruction fusion off, for `brbench -no-fuse`). Set it
+	// before the first Get; measured results are identical for any
+	// value, so cached entries stay valid across settings.
+	Measure sim.Options
 
 	// stages memoizes the build pipeline's cacheable stages (frontend,
 	// detect+train) across jobs, so the ablation grid performs one
@@ -272,7 +279,7 @@ func (e *Engine) Get(ctx context.Context, w workload.Workload, opts pipeline.Opt
 	e.mu.Unlock()
 	e.logf("building %-8s heuristic set %v%s\n", w.Name, opts.Switch, optsSuffix(opts))
 	start := time.Now()
-	ent.run, ent.err = RunStaged(e.stages, w, opts)
+	ent.run, ent.err = RunStagedWith(e.stages, w, opts, e.Measure)
 	if ent.err == nil {
 		elapsed := time.Since(start).Seconds()
 		e.mu.Lock()
@@ -280,6 +287,12 @@ func (e *Engine) Get(ctx context.Context, w workload.Workload, opts pipeline.Opt
 			e.stats.BuildSeconds = map[string]float64{}
 		}
 		e.stats.BuildSeconds[w.Name] += elapsed
+		// Fusion counters follow the BuildSeconds discipline: fresh
+		// builds only, so cache hits (whose records may predate the
+		// fusion field) never skew the summary.
+		e.stats.FusedSites += ent.run.Base.Fusion.Fused + ent.run.Reord.Fusion.Fused
+		e.stats.FusedOps += ent.run.Base.Fusion.Inside + ent.run.Reord.Fusion.Inside
+		e.stats.DecodedOps += ent.run.Base.Fusion.Ops + ent.run.Reord.Fusion.Ops
 		e.mu.Unlock()
 	}
 	if ent.err == nil && (e.disk != nil || e.remote != nil) {

@@ -41,6 +41,12 @@ type Measurement struct {
 	Ret         int64             `json:"ret"`
 	Mispredicts map[string]uint64 `json:"mispredicts"`
 	Cycles      map[string]uint64 `json:"cycles"`
+
+	// Fusion describes the measuring engine's superinstruction fusion,
+	// not the measured program — results are byte-identical with fusion
+	// on or off, which is why records written before the field existed
+	// (or with fusion off) remain valid without a schema bump.
+	Fusion *interp.FusionStats `json:"fusion,omitempty"`
 }
 
 // FromSim converts a measurement to its serializable form.
@@ -48,24 +54,33 @@ func FromSim(m *sim.Measurement) *Measurement {
 	if m == nil {
 		return nil
 	}
-	return &Measurement{
+	out := &Measurement{
 		Stats:       m.Stats,
 		Output:      []byte(m.Output),
 		Ret:         m.Ret,
 		Mispredicts: m.Mispredicts,
 		Cycles:      m.Cycles,
 	}
+	if m.Fusion.Ops > 0 {
+		f := m.Fusion
+		out.Fusion = &f
+	}
+	return out
 }
 
 // Sim converts the measurement back for the tables and figures.
 func (m *Measurement) Sim() *sim.Measurement {
-	return &sim.Measurement{
+	out := &sim.Measurement{
 		Stats:       m.Stats,
 		Output:      string(m.Output),
 		Ret:         m.Ret,
 		Mispredicts: m.Mispredicts,
 		Cycles:      m.Cycles,
 	}
+	if m.Fusion != nil {
+		out.Fusion = *m.Fusion
+	}
+	return out
 }
 
 // Record is the serializable form of one build+measure result: a

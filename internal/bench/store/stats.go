@@ -46,6 +46,16 @@ type TierStats struct {
 	SampledTrainRuns int `json:"sampledTrainRuns,omitempty"`
 	ProfileMergeHits int `json:"profileMergeHits,omitempty"`
 
+	// Superinstruction counters, aggregated over freshly built
+	// executables only (like BuildSeconds; cache hits add nothing):
+	// how many fused superinstruction sites their decoded code holds,
+	// how many original ops those sites absorb, and how many dispatch
+	// slots it has pre-fusion, so a summary can report static coverage
+	// (FusedOps/DecodedOps).
+	FusedSites int `json:"fusedSites,omitempty"`
+	FusedOps   int `json:"fusedOps,omitempty"`
+	DecodedOps int `json:"decodedOps,omitempty"`
+
 	// BuildSeconds is the wall-clock cost of the jobs behind Builds,
 	// keyed by workload and summed over every configuration built for
 	// it. Cache hits add nothing, so a BENCH trajectory over exports
@@ -74,6 +84,9 @@ func (s *TierStats) Add(o TierStats) {
 	s.ProfilePuts += o.ProfilePuts
 	s.SampledTrainRuns += o.SampledTrainRuns
 	s.ProfileMergeHits += o.ProfileMergeHits
+	s.FusedSites += o.FusedSites
+	s.FusedOps += o.FusedOps
+	s.DecodedOps += o.DecodedOps
 	for w, sec := range o.BuildSeconds {
 		if s.BuildSeconds == nil {
 			s.BuildSeconds = make(map[string]float64, len(o.BuildSeconds))

@@ -73,6 +73,62 @@ const (
 	opJump  // real unconditional jump (non-adjacent goto)
 	opIJmp  // indirect jump through a table
 	opRet
+
+	nBaseDop // count of unfused opcodes; fused superinstructions follow
+
+	// Superinstructions: each replaces an adjacent in-block run of 2-5
+	// ops. The fused opcode overwrites the run's FIRST dinst; the
+	// remaining dinsts keep their full original contents and are read as
+	// the operand/charge source by the fused dispatch case (which then
+	// advances pc past the whole run, or performs the final op's
+	// transfer). The curated set lives in fusedPatterns (superinst.go)
+	// and is data-justified by the miner — see `brbench
+	// -superinst-report`.
+	opMovMov              // Mov ; Mov
+	opMovAdd              // Mov ; Add
+	opAddMov              // Add ; Mov
+	opAddAdd              // Add ; Add
+	opAddLd               // Add ; Ld
+	opLdAdd               // Ld ; Add
+	opAddSt               // Add ; St
+	opStAdd               // St ; Add
+	opPutCharAdd          // PutChar ; Add
+	opSubMov              // Sub ; Mov
+	opEnterMov            // Enter ; Mov
+	opAddCmpBr            // Add ; CmpBr
+	opLdCmpBr             // Ld ; CmpBr
+	opStCmpBr             // St ; CmpBr
+	opMovCmpBr            // Mov ; CmpBr
+	opGetCharCmpBr        // GetChar ; CmpBr
+	opXorCmpBr            // Xor ; CmpBr
+	opShlCmpBr            // Shl ; CmpBr
+	opMovJump             // Mov ; Jump
+	opAddJump             // Add ; Jump
+	opLdCall              // Ld ; Call
+	opLdAddSt             // Ld ; Add ; St
+	opAddLdAdd            // Add ; Ld ; Add
+	opAddLdCmpBr          // Add ; Ld ; CmpBr
+	opAddLdCall           // Add ; Ld ; Call
+	opAddMovJump          // Add ; Mov ; Jump
+	opStAddMov            // St ; Add ; Mov
+	opPutCharAddJump      // PutChar ; Add ; Jump
+	opStMovJump           // St ; Mov ; Jump
+	opMovAddMov           // Mov ; Add ; Mov
+	opEnterMovMov         // Enter ; Mov ; Mov
+	opLdAddStCmpBr        // Ld ; Add ; St ; CmpBr
+	opAddLdAddLd          // Add ; Ld ; Add ; Ld
+	opStSub               // St ; Sub
+	opMovAddMovCmpBr      // Mov ; Add ; Mov ; CmpBr
+	opAddLdAddLdCall      // Add ; Ld ; Add ; Ld ; Call
+	opAddAddAddLdSt       // Add ; Add ; Add ; Ld ; St
+	opPcOrShlPcJump       // ProfCond ; Or ; Shl ; ProfCond ; Jump
+	opLdAddStMovJump      // Ld ; Add ; St ; Mov ; Jump
+	opCmpMulCmpAndBr      // Cmp ; Mul ; Cmp ; And ; Br
+	opSubMovJump          // Sub ; Mov ; Jump
+	opLdAddStJump         // Ld ; Add ; St ; Jump
+	opStAddMovJump        // St ; Add ; Mov ; Jump
+	opAddLdAddLdCmpBr     // Add ; Ld ; Add ; Ld ; CmpBr
+	opAddLdPutCharAddJump // Add ; Ld ; PutChar ; Add ; Jump
 )
 
 // darg is a resolved operand: a register index, or an immediate when
@@ -105,11 +161,11 @@ type dinst struct {
 	op        dop
 	slotTaken uint8 // SlotNops charged on the taken/only path
 	slotFall  uint8 // SlotNops charged on the fall-through path
-	rel       ir.Rel
+	relMask   uint8 // relTruth[Rel]: branch/ProfCond relation, pre-encoded
 	dst       int32
 	a, b      darg
-	t1        int32  // branch taken PC; jump target PC; call/table index
-	t2        int32  // branch fall-through PC
+	t1        int32 // branch taken PC; jump target PC; call/table index
+	t2        int32 // branch fall-through PC
 	branchID  int32
 	cost      uint32 // opEnter: block Insts charge
 	stepCost  uint32 // opEnter: block step-budget charge
@@ -125,14 +181,20 @@ type dcall struct {
 	name string // callee name, for the unknown-callee trap
 }
 
-// dfunc is one decoded function.
+// dfunc is one decoded function. blockStart maps each block's layout
+// index to its first PC (with one extra sentinel entry at len(code));
+// the fusion pass and the pattern miner use it to bound in-block runs,
+// and it is what structurally prevents fusing across a block boundary:
+// every branch, jump and jump-table target is a block start, so no
+// transfer can land on the hidden second half of a fused pair.
 type dfunc struct {
-	name    string
-	nParams int
-	nRegs   int
-	code    []dinst
-	calls   []dcall
-	tables  [][]int32
+	name       string
+	nParams    int
+	nRegs      int
+	code       []dinst
+	calls      []dcall
+	tables     [][]int32
+	blockStart []int32
 }
 
 // Code is a whole program compiled for the fast engine. A Code is
@@ -146,12 +208,28 @@ type Code struct {
 // Prog returns the program the code was decoded from.
 func (c *Code) Prog() *ir.Program { return c.prog }
 
-// Decode compiles a linearized program for the fast engine. It fails if
-// any function's block slice disagrees with its layout indices (i.e.
+// DecodeOptions configures Decode.
+type DecodeOptions struct {
+	// Fuse enables superinstruction fusion: curated adjacent-op runs
+	// within a block collapse into single dispatch ops. Execution is
+	// observably identical either way (same Stats, output, traps and
+	// event streams); the escape hatch exists so differential debugging
+	// can bisect fused vs unfused execution (`brbench -no-fuse`).
+	Fuse bool
+}
+
+// Decode compiles a linearized program for the fast engine with the
+// default options (superinstruction fusion on). It fails if any
+// function's block slice disagrees with its layout indices (i.e.
 // Program.Linearize has not run since the last CFG change); everything
 // else the reference interpreter would only trap on at runtime decodes
 // to an equivalent runtime trap.
 func Decode(p *ir.Program) (*Code, error) {
+	return DecodeWith(p, DecodeOptions{Fuse: true})
+}
+
+// DecodeWith compiles a linearized program with explicit options.
+func DecodeWith(p *ir.Program, opts DecodeOptions) (*Code, error) {
 	c := &Code{prog: p, main: -1}
 	idx := make(map[string]int32, len(p.Funcs))
 	for i, f := range p.Funcs {
@@ -165,8 +243,54 @@ func Decode(p *ir.Program) (*Code, error) {
 		if err := decodeFunc(&c.funcs[i], f, idx); err != nil {
 			return nil, fmt.Errorf("interp: decode %s: %w", f.Name, err)
 		}
+		if opts.Fuse {
+			fuseFunc(&c.funcs[i])
+		}
 	}
 	return c, nil
+}
+
+// fuseFunc rewrites each block's decoded run with the curated
+// superinstruction set: a greedy left-to-right, longest-match-first
+// scan that, on a hit, overwrites the first dinst's opcode with the
+// fused one and skips past the matched run (no overlap, one fusion
+// level). All dinst slots stay in place, so block-start PCs, branch
+// targets and the terminator's block-granular charges are untouched by
+// construction.
+func fuseFunc(df *dfunc) {
+	for bi := 0; bi+1 < len(df.blockStart); bi++ {
+		lo, hi := int(df.blockStart[bi]), int(df.blockStart[bi+1])
+		for i := lo; i+1 < hi; {
+			a, b := df.code[i].op, df.code[i+1].op
+			if fuseLonger[a][b] {
+				matched := false
+				for n := maxFuseLen; n > 2; n-- {
+					if i+n > hi {
+						continue
+					}
+					g := gram{n: uint8(n)}
+					for k := 0; k < n; k++ {
+						g.ops[k] = df.code[i+k].op
+					}
+					if fop, ok := fuseLookup[g]; ok {
+						df.code[i].op = fop
+						i += n
+						matched = true
+						break
+					}
+				}
+				if matched {
+					continue
+				}
+			}
+			if fop := fuseTable[a][b]; fop != 0 {
+				df.code[i].op = fop
+				i += 2
+			} else {
+				i++
+			}
+		}
+	}
 }
 
 // stepCostOf is the per-instruction step-budget charge: ordinary
@@ -279,6 +403,7 @@ func decodeFunc(df *dfunc, f *ir.Func, idx map[string]int32) error {
 		total += decodedLen(b)
 	}
 	start[len(f.Blocks)] = int32(total)
+	df.blockStart = start
 
 	df.code = make([]dinst, 0, total)
 	for bi, b := range f.Blocks {
@@ -328,7 +453,7 @@ func decodeFunc(df *dfunc, f *ir.Func, idx map[string]int32) error {
 			st, sf := brSlots(t.Slot)
 			d := dinst{
 				op:        opBr,
-				rel:       t.Rel,
+				relMask:   relTruth[t.Rel],
 				t1:        start[t.Taken.LayoutIndex],
 				t2:        start[t.Next.LayoutIndex],
 				branchID:  int32(t.BranchID),
@@ -421,7 +546,7 @@ func decodeInst(df *dfunc, in *ir.Inst, idx map[string]int32) (dinst, error) {
 		d.seqID, d.sub = int32(in.SeqID), int32(in.Sub)
 	case ir.ProfCond:
 		d.op = opProfCond
-		d.rel = in.Rel
+		d.relMask = relTruth[in.Rel]
 		d.seqID, d.sub = int32(in.SeqID), int32(in.Sub)
 	case ir.Call:
 		d.op = opCall

@@ -413,10 +413,12 @@ func TestDecodeRejectsUnlinearized(t *testing.T) {
 
 // TestDecodeShape pins the structural properties the decoder promises:
 // Cmp+Br fusion, adjacent-goto elision, block charges on terminators,
-// and opEnter only for blocks whose terminator decodes away.
+// and opEnter only for blocks whose terminator decodes away. Decoded
+// unfused: superinstruction fusion is a separate pass with its own
+// tests, and it would fold the opEnter+opMov prefix this test pins.
 func TestDecodeShape(t *testing.T) {
 	p := countLoopProg(3)
-	code, err := Decode(p)
+	code, err := DecodeWith(p, DecodeOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

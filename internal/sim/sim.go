@@ -36,6 +36,21 @@ type Measurement struct {
 
 	// Cycles maps machine name to modelled execution cycles.
 	Cycles map[string]uint64
+
+	// Fusion reports the executable's superinstruction fusion (all zero
+	// when decoded with fusion off). It describes the measurement
+	// engine, not the measured program: Stats/Cycles are identical
+	// either way.
+	Fusion interp.FusionStats
+}
+
+// Options configures how a measurement executes. The zero value is the
+// default (fused) configuration.
+type Options struct {
+	// NoFuse decodes without superinstruction fusion — the differential
+	// debugging escape hatch (`brbench -no-fuse`). Results are
+	// byte-identical either way; only wall-clock and Fusion change.
+	NoFuse bool
 }
 
 // Run executes prog on input, simulating the given predictors (pass nil
@@ -47,7 +62,12 @@ type Measurement struct {
 // separate Bimodal observations; explicit predictors keep the Bimodal
 // fan-out so tests can instrument individual tables.
 func Run(prog *ir.Program, input []byte, preds []*predictor.Bimodal) (*Measurement, error) {
-	code, err := interp.Decode(prog)
+	return RunWith(prog, input, preds, Options{})
+}
+
+// RunWith is Run with explicit execution options.
+func RunWith(prog *ir.Program, input []byte, preds []*predictor.Bimodal, opts Options) (*Measurement, error) {
+	code, err := interp.DecodeWith(prog, interp.DecodeOptions{Fuse: !opts.NoFuse})
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
@@ -76,6 +96,7 @@ func Run(prog *ir.Program, input []byte, preds []*predictor.Bimodal) (*Measureme
 		Output: m.Output.String(),
 		Ret:    ret,
 		Cycles: make(map[string]uint64, len(cfgs)),
+		Fusion: code.FusionStats(),
 	}
 	if bank != nil {
 		out.Mispredicts = bank.Mispredicts()
