@@ -101,6 +101,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this file at exit")
 		noFuse    = fs.Bool("no-fuse", false, "measure on the unfused decode (superinstructions off) — a differential-debugging escape hatch; results are byte-identical, only speed changes")
+		engName   = fs.String("engine", "fast", "execution backend for measurements and training runs: fast, closure, or reference — results are byte-identical, only speed and the engine counters change")
 		superinst = fs.Bool("superinst-report", false, "mine dynamic adjacent-op patterns over the selected workloads plus random CFGs and print the ranked table with the curated fusion set's coverage")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -144,6 +145,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	shardIdx, shardN, err := parseShard(*shardFlag)
+	if err != nil {
+		return fail(err)
+	}
+	measureEngine, err := sim.ParseEngine(*engName)
 	if err != nil {
 		return fail(err)
 	}
@@ -243,7 +248,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		progress = nil
 	}
 	engine := bench.NewEngine(*jobs, progress)
-	engine.Measure = sim.Options{NoFuse: *noFuse}
+	engine.SetMeasure(sim.Options{NoFuse: *noFuse, Engine: measureEngine})
 	if *cacheDir != "" {
 		st, err := store.Open(*cacheDir)
 		if err != nil {
@@ -324,6 +329,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if st.DecodedOps > 0 {
 				fmt.Fprintf(stderr, "brbench: superinstructions: %d fused sites absorbing %d of %d decoded ops (%.1f%% static coverage) across fresh builds\n",
 					st.FusedSites, st.FusedOps, st.DecodedOps, 100*float64(st.FusedOps)/float64(st.DecodedOps))
+			}
+			if st.CompiledFuncs > 0 || st.ClosureFallbacks > 0 {
+				fmt.Fprintf(stderr, "brbench: closure compiler: %d funcs compiled into %d closure blocks, %d declined, across fresh builds\n",
+					st.CompiledFuncs, st.ClosureBlocks, st.ClosureFallbacks)
 			}
 			if len(st.BuildSeconds) > 0 {
 				names := make([]string, 0, len(st.BuildSeconds))

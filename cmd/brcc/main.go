@@ -47,11 +47,16 @@ func main() {
 		trainBuiltin = flag.Bool("train-builtin", false, "use the workload's built-in training input")
 		runBuiltin   = flag.Bool("run-builtin", false, "execute on the workload's built-in test input")
 		compare      = flag.Bool("compare", false, "run both baseline and reordered and report both")
+		engName      = flag.String("engine", "fast", "execution backend for training and -run: fast, closure, or reference — results are byte-identical, only speed changes")
 	)
 	flag.Parse()
 
 	set, err := parseSet(*setName)
 	check(err)
+
+	eng, err := interp.ParseEngine(*engName)
+	check(err)
+	execEngine = eng
 
 	src, train, test, err := loadInputs(*wl, *trainFile, *runFile, *trainBuiltin, *runBuiltin)
 	check(err)
@@ -86,10 +91,14 @@ func main() {
 		return
 	}
 
-	build, err := pipeline.Build(src, train, opts)
+	build, err := pipeline.BuildWith(src, train, opts, eng)
 	check(err)
 	report(build, *seqs, *dump, test, *compare)
 }
+
+// execEngine is the -engine selection, consulted by every program
+// execution and training run. Results are engine-independent.
+var execEngine interp.Engine
 
 // report prints the requested views of a finished build and runs it.
 func report(build *pipeline.BuildResult, seqs, dump bool, test []byte, compare bool) {
@@ -134,6 +143,7 @@ func runFirstPass(src string, opts pipeline.Options, train []byte, path string) 
 	if err != nil {
 		return err
 	}
+	ins.Exec = execEngine
 	prof, orProf, err := ins.Train(train)
 	if err != nil {
 		return err
@@ -227,16 +237,13 @@ func listSequences(prog *ir.Program) {
 }
 
 func execute(label string, prog *ir.Program, input []byte) {
-	code, err := interp.Decode(prog)
+	ret, st, out, err := interp.Exec(execEngine, prog, nil, input, nil, nil)
 	check(err)
-	m := &interp.FastMachine{Code: code, Input: input}
-	ret, err := m.Run()
-	check(err)
-	os.Stdout.Write(m.Output.Bytes())
+	os.Stdout.Write(out)
 	fmt.Fprintf(os.Stderr,
 		"%s: exit %d, %d insts, %d cond branches (%d taken), %d jumps, %d indirect\n",
-		label, ret, m.Stats.Insts, m.Stats.CondBranches, m.Stats.TakenBranches,
-		m.Stats.Jumps, m.Stats.IndirectJumps)
+		label, ret, st.Insts, st.CondBranches, st.TakenBranches,
+		st.Jumps, st.IndirectJumps)
 }
 
 func check(err error) {

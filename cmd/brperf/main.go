@@ -39,6 +39,7 @@ import (
 	"testing"
 	"time"
 
+	"branchreorder/internal/bench/loadgen"
 	"branchreorder/internal/interp"
 	"branchreorder/internal/lower"
 	"branchreorder/internal/pipeline"
@@ -56,9 +57,13 @@ type result struct {
 }
 
 type document struct {
-	GoVersion  string            `json:"goVersion"`
-	GOOS       string            `json:"goos"`
-	GOARCH     string            `json:"goarch"`
+	GoVersion string `json:"goVersion"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Host records where the benchmarks ran (CPU count, GOMAXPROCS,
+	// CPU model). -compare prints it but never gates on it, so drift
+	// between baselines taken on different machines is diagnosable.
+	Host       *loadgen.HostInfo `json:"host,omitempty"`
 	Benchmarks map[string]result `json:"benchmarks"`
 }
 
@@ -132,6 +137,10 @@ func compare(oldPath, newPath string, threshold float64) error {
 	if err != nil {
 		return err
 	}
+	// Host context for cross-machine diffs; informational only.
+	if oldDoc.Host != nil || newDoc.Host != nil {
+		fmt.Printf("old host: %s\nnew host: %s\n", oldDoc.Host, newDoc.Host)
+	}
 	names := make([]string, 0, len(oldDoc.Benchmarks)+len(newDoc.Benchmarks))
 	for name := range oldDoc.Benchmarks {
 		names = append(names, name)
@@ -187,6 +196,7 @@ func run(out string) error {
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		Host:       loadgen.CollectHost(),
 		Benchmarks: map[string]result{},
 	}
 	record := func(name string, r testing.BenchmarkResult) {
@@ -220,6 +230,10 @@ func run(out string) error {
 		record("Interp/"+name+"/fast", testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			m := &interp.FastMachine{Code: code, Input: input}
+			if _, err := m.Run(); err != nil { // warm-up sizes the arenas
+				b.Fatal(err)
+			}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := m.Run(); err != nil {
 					b.Fatal(err)
@@ -232,6 +246,27 @@ func run(out string) error {
 		record("Interp/"+name+"/fast-nofuse", testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			m := &interp.FastMachine{Code: unfused, Input: input}
+			if _, err := m.Run(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		// The closure-compiled engine on the same decoded code. The
+		// warm-up run also compiles the closure graph, so the loop times
+		// steady-state execution — the fast vs closure pair within one
+		// document is the dispatch-elimination speedup claim.
+		record("Interp/"+name+"/closure", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			m := &interp.ClosureMachine{Code: code, Input: input}
+			if _, err := m.Run(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := m.Run(); err != nil {
 					b.Fatal(err)
@@ -306,6 +341,41 @@ func run(out string) error {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := sim.RunWith(front.Prog, input, nil, sim.Options{NoFuse: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	// End-to-end measurement on the closure engine, decode + compile
+	// included each iteration — the one-shot sim.Run cost a caller of
+	// -engine closure actually pays.
+	record("SimWithPredictors/wc-closure", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunWith(front.Prog, input, nil, sim.Options{Engine: sim.EngineClosure}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	// The same end-to-end pair on the suite's heaviest workload, where
+	// execution (not the predictor bank) dominates the measurement: this
+	// is where the closure engine's end-to-end win shows.
+	sortFront, sortW, err := frontend("sort")
+	if err != nil {
+		return err
+	}
+	sortInput := sortW.Test()
+	record("SimWithPredictors/sort", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(sortFront.Prog, sortInput, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	record("SimWithPredictors/sort-closure", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunWith(sortFront.Prog, sortInput, nil, sim.Options{Engine: sim.EngineClosure}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -101,6 +101,15 @@ func NewEngine(jobs int, progress io.Writer) *Engine {
 // training runs.
 func (e *Engine) StageCache() *pipeline.StageCache { return e.stages }
 
+// SetMeasure configures the measurement options and steers the stage
+// cache's training runs onto the same execution engine. Call it before
+// the first Get. Results and cache entries are identical for any value;
+// only wall-clock and the engine-descriptive counters change.
+func (e *Engine) SetMeasure(mo sim.Options) {
+	e.Measure = mo
+	e.stages.Exec = mo.Engine
+}
+
 // Jobs reports the worker-pool bound.
 func (e *Engine) Jobs() int { return e.jobs }
 
@@ -293,6 +302,9 @@ func (e *Engine) Get(ctx context.Context, w workload.Workload, opts pipeline.Opt
 		e.stats.FusedSites += ent.run.Base.Fusion.Fused + ent.run.Reord.Fusion.Fused
 		e.stats.FusedOps += ent.run.Base.Fusion.Inside + ent.run.Reord.Fusion.Inside
 		e.stats.DecodedOps += ent.run.Base.Fusion.Ops + ent.run.Reord.Fusion.Ops
+		e.stats.CompiledFuncs += ent.run.Base.Compile.CompiledFuncs + ent.run.Reord.Compile.CompiledFuncs
+		e.stats.ClosureBlocks += ent.run.Base.Compile.ClosureBlocks + ent.run.Reord.Compile.ClosureBlocks
+		e.stats.ClosureFallbacks += ent.run.Base.Compile.Fallbacks + ent.run.Reord.Compile.Fallbacks
 		e.mu.Unlock()
 	}
 	if ent.err == nil && (e.disk != nil || e.remote != nil) {

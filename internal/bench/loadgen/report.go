@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -16,6 +17,43 @@ const ReportKind = "load"
 
 // ReportSchema versions the report format.
 const ReportSchema = 1
+
+// HostInfo identifies the hardware a result document was produced on —
+// diagnostic context for cross-host baseline drift. Comparisons print
+// it but never gate on it: the numbers decide, the host explains.
+type HostInfo struct {
+	NumCPU     int    `json:"numCPU"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPUModel   string `json:"cpuModel,omitempty"`
+}
+
+// CollectHost gathers the running host's info. The CPU model comes from
+// /proc/cpuinfo when readable (Linux); elsewhere it stays empty.
+func CollectHost() *HostInfo {
+	h := &HostInfo{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if name, ok := strings.CutPrefix(line, "model name"); ok {
+				if _, val, ok := strings.Cut(name, ":"); ok {
+					h.CPUModel = strings.TrimSpace(val)
+					break
+				}
+			}
+		}
+	}
+	return h
+}
+
+func (h *HostInfo) String() string {
+	if h == nil {
+		return "unknown host"
+	}
+	s := fmt.Sprintf("%d cpus, gomaxprocs %d", h.NumCPU, h.GOMAXPROCS)
+	if h.CPUModel != "" {
+		s += ", " + h.CPUModel
+	}
+	return s
+}
 
 // Latency is one op class's latency profile in milliseconds. Quantiles
 // are bucket upper edges (conservative, ≤19% high — see Histogram);
@@ -66,6 +104,10 @@ type Report struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 
+	// Host records where the load ran. Diagnostic only: comparisons
+	// never gate on it.
+	Host *HostInfo `json:"host,omitempty"`
+
 	Clients     int     `json:"clients"`
 	Seed        uint64  `json:"seed"`
 	Mix         string  `json:"mix"` // canonical ParseMix syntax
@@ -87,6 +129,7 @@ func newReport(cfg Config, elapsed time.Duration) *Report {
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
+		Host:        CollectHost(),
 		Clients:     cfg.Clients,
 		Seed:        cfg.Seed,
 		Mix:         cfg.Mix.String(),
@@ -150,6 +193,11 @@ const maxErrorRate = 0.05
 // this gate catches collapses, not nanoseconds.
 func CompareReports(w io.Writer, oldR, newR *Report, threshold float64) error {
 	var regressed []string
+	// Host context for cross-machine diffs; informational only, never a
+	// gate.
+	if oldR.Host != nil || newR.Host != nil {
+		fmt.Fprintf(w, "old host: %s\nnew host: %s\n", oldR.Host, newR.Host)
+	}
 	sameShape := oldR.Clients == newR.Clients && oldR.Mix == newR.Mix
 	if !sameShape {
 		fmt.Fprintf(w, "note: run shapes differ (old %d clients, mix %s; new %d clients, mix %s); throughput not compared\n",

@@ -35,38 +35,74 @@ func hooks(r *engineRun) (func(int, bool), func(int, int, int64)) {
 		}
 }
 
+// runBoth executes p on every engine and decode variant, applying the
+// full three-way oracle: the reference machine against the fast engine
+// under the lenient contract (compareRuns), the fast engine against
+// itself across decodes, and the closure engine against the fast engine
+// of the same decode under strict identity (compareSame) — for both the
+// hooked variant (branch/prof streams attached) and the hook-free plain
+// variant, whose specialized closure bodies only compile without hooks.
 func runBoth(t testing.TB, p *ir.Program, input []byte) (ref, fast engineRun) {
-	ref, fast = runRefFast(t, p, input, interp.DecodeOptions{Fuse: true})
+	fused := interp.DecodeOptions{Fuse: true}
+	nofuse := interp.DecodeOptions{}
+	ref = runOn(t, p, input, fused, interp.EngineReference, true)
+	fast = runOn(t, p, input, fused, interp.EngineFast, true)
 	// The unfused decode must behave identically to the fused one; any
 	// divergence is a fusion bug, caught here across every seed and every
 	// fuzz input the suite explores.
-	_, unfused := runRefFast(t, p, input, interp.DecodeOptions{})
+	unfused := runOn(t, p, input, nofuse, interp.EngineFast, true)
 	compareRuns(t, "fused-vs-unfused", fast, unfused)
+	// Closure engine, -no-fuse × engine cross-product: the compiled
+	// graph must replicate the fast engine exactly — same trap text and
+	// PC, same trap-point stats, same hook streams.
+	compareSame(t, "closure-vs-fast",
+		fast, runOn(t, p, input, fused, interp.EngineClosure, true))
+	compareSame(t, "closure-vs-fast/nofuse",
+		unfused, runOn(t, p, input, nofuse, interp.EngineClosure, true))
+	compareSame(t, "closure-vs-fast/plain",
+		runOn(t, p, input, fused, interp.EngineFast, false),
+		runOn(t, p, input, fused, interp.EngineClosure, false))
 	return ref, fast
 }
 
-func runRefFast(t testing.TB, p *ir.Program, input []byte, opts interp.DecodeOptions) (ref, fast engineRun) {
+// runOn executes p once on the chosen engine. hooked attaches the
+// branch/prof recorders; without them the closure engine compiles its
+// specialized plain bodies.
+func runOn(t testing.TB, p *ir.Program, input []byte, opts interp.DecodeOptions, e interp.Engine, hooked bool) (r engineRun) {
 	t.Helper()
-	rm := &interp.Machine{Prog: p, Input: input, MaxSteps: randMaxSteps}
-	rm.OnBranch, rm.OnProf = hooks(&ref)
-	ret, err := rm.Run()
-	ref.ret, ref.out, ref.stats = ret, rm.Output.String(), rm.Stats
+	var onBranch func(int, bool)
+	var onProf func(int, int, int64)
+	if hooked {
+		onBranch, onProf = hooks(&r)
+	}
+	var ret int64
+	var err error
+	if e == interp.EngineReference {
+		m := &interp.Machine{Prog: p, Input: input, MaxSteps: randMaxSteps,
+			OnBranch: onBranch, OnProf: onProf}
+		ret, err = m.Run()
+		r.ret, r.out, r.stats = ret, m.Output.String(), m.Stats
+	} else {
+		code, derr := interp.DecodeWith(p, opts)
+		if derr != nil {
+			t.Fatalf("decode: %v", derr)
+		}
+		if e == interp.EngineClosure {
+			m := &interp.ClosureMachine{Code: code, Input: input, MaxSteps: randMaxSteps,
+				OnBranch: onBranch, OnProf: onProf}
+			ret, err = m.Run()
+			r.ret, r.out, r.stats = ret, m.Output.String(), m.Stats
+		} else {
+			m := &interp.FastMachine{Code: code, Input: input, MaxSteps: randMaxSteps,
+				OnBranch: onBranch, OnProf: onProf}
+			ret, err = m.Run()
+			r.ret, r.out, r.stats = ret, m.Output.String(), m.Stats
+		}
+	}
 	if err != nil {
-		ref.err = err.Error()
+		r.err = err.Error()
 	}
-
-	code, derr := interp.DecodeWith(p, opts)
-	if derr != nil {
-		t.Fatalf("decode: %v", derr)
-	}
-	fm := &interp.FastMachine{Code: code, Input: input, MaxSteps: randMaxSteps}
-	fm.OnBranch, fm.OnProf = hooks(&fast)
-	ret, err = fm.Run()
-	fast.ret, fast.out, fast.stats = ret, fm.Output.String(), fm.Stats
-	if err != nil {
-		fast.err = err.Error()
-	}
-	return ref, fast
+	return r
 }
 
 func eqInt64s(a, b []int64) bool {
@@ -117,6 +153,35 @@ func compareRuns(t testing.TB, label string, ref, fast engineRun) {
 	// block-granular on the fast engine).
 	if ref.err == "" && ref.stats != fast.stats {
 		t.Errorf("%s: stats\nref:  %+v\nfast: %+v", label, ref.stats, fast.stats)
+	}
+}
+
+// compareSame demands full identity — return value, output, error text
+// (trap kind and PC included), hook streams, and Stats even at trap
+// points. The fast and closure engines share one execution contract
+// down to the block-granular step budget, so unlike compareRuns nothing
+// is forgiven.
+func compareSame(t testing.TB, label string, a, b engineRun) {
+	t.Helper()
+	if a.err != b.err {
+		t.Errorf("%s: errors differ: fast=%q closure=%q", label, a.err, b.err)
+		return
+	}
+	if a.ret != b.ret {
+		t.Errorf("%s: ret fast=%d closure=%d", label, a.ret, b.ret)
+	}
+	if a.out != b.out {
+		t.Errorf("%s: output fast=%q closure=%q", label, a.out, b.out)
+	}
+	if a.stats != b.stats {
+		t.Errorf("%s: stats\nfast:    %+v\nclosure: %+v", label, a.stats, b.stats)
+	}
+	if !eqInt64s(a.branches, b.branches) {
+		t.Errorf("%s: branch streams differ (%d vs %d events)",
+			label, len(a.branches)/2, len(b.branches)/2)
+	}
+	if !eqInt64s(a.profs, b.profs) {
+		t.Errorf("%s: prof streams differ", label)
 	}
 }
 

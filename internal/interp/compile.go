@@ -1,0 +1,900 @@
+// Closure-chain compilation: the third execution engine. Compile
+// translates each decoded function into a graph of pre-bound Go
+// closures — one closure per executed operation, operands resolved at
+// compile time, control transfers resolved to direct *blockFn successor
+// pointers — so a straight-line run executes with zero dispatch
+// switches: each closure calls the next op's closure directly and only
+// block transfers return to the trampoline.
+//
+// Two things keep the hot path lean:
+//
+//   - The machine's hot state (the register window, condition codes and
+//     step counter) is threaded through every closure's arguments and
+//     results instead of living on the ClosureMachine, so it stays in
+//     CPU registers across an entire straight-line run exactly as
+//     FastMachine's dispatch-loop locals do.
+//   - Stats are derived, not charged eagerly. Every control transfer
+//     (branch outcome, jump, call, ret, indirect jump, fall-through)
+//     owns a counter; executing it is one increment. The charges of the
+//     straight-line segment it terminates are a compile-time Stats
+//     delta, and Run's finalizer folds count×delta into m.Stats. Trap
+//     closures add their own statically-known partial-segment delta
+//     before trapping, so even aborted runs account instructions at
+//     exactly the position FastMachine charges them.
+//
+// Contract: a ClosureMachine is observably identical to FastMachine —
+// same Stats (including on trapped runs), same Output, return value,
+// branch/profile event streams, and byte-identical RuntimeError traps.
+// FastMachine and the reference Machine remain the differential oracles
+// (internal/equiv exercises all three pairwise).
+//
+// Compilation rules:
+//
+//   - Superinstructions are decomposed back into their base-op
+//     sequences (fusedDopSeq); the fused first dinst supplies the first
+//     op's operands, the shadowed dinsts their own. Dispatch cost is
+//     already zero either way, so fused and unfused Code compile to
+//     observably identical closure graphs.
+//   - Two variants are compiled lazily per Code and cached: a plain
+//     variant whose branch/prof closures skip hook dispatch entirely,
+//     and a hooked variant replicating FastMachine's per-event nil
+//     checks. Run picks the variant by hook nil-ness, so measurement
+//     runs never pay for instrumentation.
+//   - Calls split a block: the call closure pushes a frame whose resume
+//     continuation is the already-compiled rest of the block, then
+//     returns the callee's entry closure; Ret pops and returns the
+//     resume. A call also closes its accounting segment (the callee may
+//     trap before the caller's terminator runs). Empty blocks (a lone
+//     elided goto) compile to nothing and alias their successor.
+//   - If any function contains an op the compiler does not recognize it
+//     declines the whole program (counted in CompileStats.Fallbacks)
+//     and Run delegates to a FastMachine, preserving equivalence. The
+//     current compiler is total, so this is a forward-compatibility
+//     escape hatch.
+package interp
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"sync"
+)
+
+// blockFn is one compiled execution step. The register window, the
+// condition codes and the step counter are threaded through arguments
+// and results so they live in CPU registers across a straight-line run;
+// a transfer returns the next closure to run (plus the threaded state),
+// or a nil closure when the run ends (m.ret / m.err carry the outcome).
+type blockFn func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64)
+
+// CompileStats summarizes one program's closure compilation.
+type CompileStats struct {
+	// CompiledFuncs is the number of functions compiled to closures.
+	CompiledFuncs int `json:"compiledFuncs"`
+	// ClosureBlocks is the number of non-empty basic blocks compiled.
+	ClosureBlocks int `json:"closureBlocks"`
+	// Fallbacks counts functions the compiler declined; any nonzero
+	// value makes the whole program run on the FastMachine instead.
+	Fallbacks int `json:"fallbacks,omitempty"`
+}
+
+// compiledProg is one compiled variant (plain or hooked) of a Code.
+type compiledProg struct {
+	entries []blockFn // per-function entry closure
+	deltas  []Stats   // per-transfer-counter Stats charge
+	stats   CompileStats
+}
+
+// closFrame is a suspended caller: the continuation to resume, the
+// caller's window geometry, and its condition codes.
+type closFrame struct {
+	resume blockFn
+	base   int32
+	nRegs  int32 // caller's register count, for arena truncation
+	dst    int32
+	cmpA   int64
+	cmpB   int64
+	flags  bool
+}
+
+// ClosureMachine executes pre-compiled closure graphs. It is
+// observably identical to FastMachine (see the package comment above)
+// and may be reused: Run resets all execution state and recycles the
+// register arena, frame stack and data memory from the previous run.
+// The compiled closure graphs live on the Code and are shared by all
+// machines running it.
+type ClosureMachine struct {
+	Code  *Code
+	Input []byte
+
+	// OnBranch, if non-nil, observes every executed conditional branch,
+	// exactly as Machine.OnBranch does.
+	OnBranch func(id int, taken bool)
+
+	// OnProf, if non-nil, observes every executed Prof/ProfCond
+	// instruction, exactly as Machine.OnProf does.
+	OnProf func(seqID, sub int, value int64)
+
+	// IJmpInsts is the instruction cost charged per indirect jump;
+	// DefaultIJmpInsts if zero.
+	IJmpInsts uint64
+
+	// MaxSteps aborts execution after (block-granularly, exactly as
+	// FastMachine) this many dynamic instructions; DefaultMaxSteps if
+	// zero.
+	MaxSteps uint64
+
+	// Stats is complete after Run returns; during a run the per-op
+	// charges accumulate in transfer counters and are folded in at the
+	// end.
+	Stats  Stats
+	Output bytes.Buffer
+
+	mem       []int64
+	regs      []int64
+	frames    []closFrame
+	counts    []uint64 // per-transfer execution counts, folded by Run
+	inPos     int
+	maxSteps  uint64
+	ijmpInsts uint64
+	ret       int64
+	err       error
+	numBuf    [24]byte
+}
+
+// statsAddScaled adds n executions' worth of d to dst.
+func statsAddScaled(dst *Stats, d *Stats, n uint64) {
+	dst.Insts += d.Insts * n
+	dst.CondBranches += d.CondBranches * n
+	dst.TakenBranches += d.TakenBranches * n
+	dst.Jumps += d.Jumps * n
+	dst.IndirectJumps += d.IndirectJumps * n
+	dst.Loads += d.Loads * n
+	dst.Stores += d.Stores * n
+	dst.Calls += d.Calls * n
+	dst.Cmps += d.Cmps * n
+	dst.ProfHits += d.ProfHits * n
+	dst.SlotNops += d.SlotNops * n
+}
+
+// trap ends the run with a runtime error after crediting the partial
+// segment executed before the trap point; the cold path of every
+// trapping closure.
+func (m *ClosureMachine) trap(partial *Stats, fname, msg string) (blockFn, []int64, int64, int64, bool, uint64) {
+	statsAddScaled(&m.Stats, partial, 1)
+	m.err = &RuntimeError{fname, msg}
+	return nil, nil, 0, 0, false, 0
+}
+
+// stepTrap ends the run with the step-limit trap.
+func (m *ClosureMachine) stepTrap(partial *Stats, fname string) (blockFn, []int64, int64, int64, bool, uint64) {
+	return m.trap(partial, fname, fmt.Sprintf("exceeded step limit %d", m.maxSteps))
+}
+
+// compiledVariant returns the cached compiled program for the variant,
+// compiling it on first use. Safe for concurrent machines.
+func (c *Code) compiledVariant(hooked bool) *compiledProg {
+	i := 0
+	if hooked {
+		i = 1
+	}
+	c.closOnce[i].Do(func() {
+		c.clos[i] = compileProg(c, hooked)
+	})
+	return c.clos[i]
+}
+
+// CompileStats compiles the program (if not already compiled) and
+// reports the closure compiler's counters. Both variants compile to
+// the same counts; the plain variant is canonical.
+func (c *Code) CompileStats() CompileStats {
+	return c.compiledVariant(false).stats
+}
+
+// closOncePair reserves the per-Code compilation slots. Declared here
+// so everything closure-related lives in this file; the fields
+// themselves are on Code (decode.go).
+type closOncePair = [2]sync.Once
+
+// Run executes main() and returns its result.
+func (m *ClosureMachine) Run() (int64, error) {
+	c := m.Code
+	if c == nil || c.main < 0 {
+		return 0, fmt.Errorf("interp: program has no main function")
+	}
+	if c.funcs[c.main].nParams != 0 {
+		return 0, fmt.Errorf("interp: main must take no parameters")
+	}
+	hooked := m.OnBranch != nil || m.OnProf != nil
+	cp := c.compiledVariant(hooked)
+	if cp.stats.Fallbacks > 0 {
+		// The compiler declined part of the program: run the whole
+		// program on the dispatch engine, preserving equivalence.
+		fm := &FastMachine{
+			Code: c, Input: m.Input,
+			OnBranch: m.OnBranch, OnProf: m.OnProf,
+			IJmpInsts: m.IJmpInsts, MaxSteps: m.MaxSteps,
+		}
+		ret, err := fm.Run()
+		m.Stats = fm.Stats
+		m.Output.Reset()
+		m.Output.Write(fm.Output.Bytes())
+		return ret, err
+	}
+	m.ijmpInsts = m.IJmpInsts
+	if m.ijmpInsts == 0 {
+		m.ijmpInsts = DefaultIJmpInsts
+	}
+	m.maxSteps = m.MaxSteps
+	if m.maxSteps == 0 {
+		m.maxSteps = DefaultMaxSteps
+	}
+
+	// Reset execution state, reusing every arena from a previous run.
+	if int64(len(m.mem)) != c.prog.MemSize {
+		m.mem = make([]int64, c.prog.MemSize)
+	} else {
+		clear(m.mem)
+	}
+	for _, g := range c.prog.Globals {
+		copy(m.mem[g.Addr:g.Addr+g.Size], g.Init)
+	}
+	if len(m.counts) != len(cp.deltas) {
+		m.counts = make([]uint64, len(cp.deltas))
+	} else {
+		clear(m.counts)
+	}
+	m.inPos = 0
+	m.Stats = Stats{}
+	m.Output.Reset()
+	m.frames = m.frames[:0]
+	m.regs = growWindow(m.regs[:0], c.funcs[c.main].nRegs)
+	m.ret = 0
+	m.err = nil
+	m.Stats.Calls++
+	m.Stats.Insts++ // the synthetic call of main
+
+	fb := cp.entries[c.main]
+	w := m.regs
+	var cmpA, cmpB int64
+	var flags bool
+	var steps uint64
+	for fb != nil {
+		fb, w, cmpA, cmpB, flags, steps = fb(m, w, cmpA, cmpB, flags, steps)
+	}
+	// Fold the transfer counters into Stats — on trapped runs too: the
+	// counters hold the fully-executed transfers, and the trap closure
+	// already credited its partial segment.
+	for i, n := range m.counts {
+		if n != 0 {
+			statsAddScaled(&m.Stats, &cp.deltas[i], n)
+		}
+	}
+	return m.ret, m.err
+}
+
+func compileProg(c *Code, hooked bool) *compiledProg {
+	cp := &compiledProg{entries: make([]blockFn, len(c.funcs))}
+	for i := range c.funcs {
+		compileFunc(cp, c, i, hooked)
+	}
+	return cp
+}
+
+// funcCompiler compiles one function's blocks into closures.
+type funcCompiler struct {
+	c         *Code
+	cp        *compiledProg
+	f         *dfunc
+	fname     string
+	hooked    bool
+	blocks    []blockFn
+	pcToBlock map[int32]int
+	bi        int // block being compiled; targets > bi are built
+	declined  bool
+}
+
+// newCounter allocates a transfer counter charging delta per execution.
+func (cc *funcCompiler) newCounter(delta Stats) int {
+	cc.cp.deltas = append(cc.cp.deltas, delta)
+	return len(cc.cp.deltas) - 1
+}
+
+func compileFunc(cp *compiledProg, c *Code, fi int, hooked bool) {
+	f := &c.funcs[fi]
+	nb := len(f.blockStart) - 1
+	cc := &funcCompiler{
+		c: c, cp: cp, f: f, fname: f.name, hooked: hooked,
+		blocks:    make([]blockFn, nb),
+		pcToBlock: make(map[int32]int, nb),
+	}
+	// Empty blocks share their successor's start PC; iterating high to
+	// low makes the map prefer the lowest (empty) block, whose closure
+	// aliases the successor below — either resolution is equivalent.
+	for bi := nb - 1; bi >= 0; bi-- {
+		cc.pcToBlock[f.blockStart[bi]] = bi
+	}
+	// Compile last block first: every forward edge (fall-through,
+	// forward branch arm or jump) then targets an already-built chain
+	// that its transfer can call directly, giving each such transfer
+	// its own host call site; only backedges bounce off the trampoline
+	// through a late-bound slot. Forward edges are acyclic, so direct
+	// calls nest at most #blocks deep between bounces. An empty block
+	// (elided goto needs a following block, so it is never last) is a
+	// pure fall-through aliasing its successor.
+	compiled := 0
+	for bi := nb - 1; bi >= 0; bi-- {
+		if f.blockStart[bi] == f.blockStart[bi+1] {
+			cc.blocks[bi] = cc.blocks[bi+1]
+			continue
+		}
+		cc.blocks[bi] = cc.compileBlock(bi)
+		compiled++
+	}
+	if cc.declined {
+		cp.stats.Fallbacks++
+		return
+	}
+	cp.entries[fi] = cc.blocks[0]
+	cp.stats.CompiledFuncs++
+	cp.stats.ClosureBlocks += compiled
+}
+
+// blockPtr returns the successor slot for a transfer target PC. The
+// slot is filled (or aliased) by the time any closure dereferences it.
+func (cc *funcCompiler) blockPtr(pc int32) *blockFn {
+	return &cc.blocks[cc.pcToBlock[pc]]
+}
+
+// succ resolves a transfer target either to a direct callee (forward
+// edge: the target compiled before this block in the reverse build
+// order, so its chain head exists) or to a late-bound slot (backedge,
+// resolved through the trampoline). Exactly one return is non-nil.
+func (cc *funcCompiler) succ(pc int32) (blockFn, *blockFn) {
+	t := cc.pcToBlock[pc]
+	if t > cc.bi {
+		return cc.blocks[t], nil
+	}
+	return nil, &cc.blocks[t]
+}
+
+func isTransfer(op dop) bool {
+	switch op {
+	case opBr, opCmpBr, opJump, opIJmp, opRet:
+		return true
+	}
+	return false
+}
+
+// segCharge accumulates one straight-line op's contribution to its
+// segment's Stats delta; transfers and calls close the segment.
+func segCharge(op dop, d *dinst, seg *Stats) {
+	switch op {
+	case opEnter:
+		seg.Insts += uint64(d.cost)
+	case opCmp:
+		seg.Cmps++
+	case opLd:
+		seg.Loads++
+	case opSt:
+		seg.Stores++
+	case opProf, opProfCond:
+		seg.ProfHits++
+	}
+}
+
+// cunit is one compilation unit of a block: a single base op, or a
+// whole superinstruction run kept intact so compileFused can emit a
+// single combined closure for it. subs[0] is the fused run's first
+// dinst (whose opcode was overwritten by fusion; seq[0] names its base
+// op), subs[1:] the shadowed dinsts. pres holds the segment delta
+// accumulated before each sub-op, for trap accounting.
+type cunit struct {
+	op   dop // base op, or fused opcode (>= nBaseDop)
+	d    *dinst
+	subs []*dinst
+	pre  Stats
+	pres []Stats
+}
+
+// compileBlock compiles one non-empty block. A first left-to-right
+// pass gathers units (keeping superinstruction runs whole) and computes
+// each sub-op's accumulated segment delta (the Stats its trap or
+// transfer must credit for the straight-line ops already executed); the
+// second pass compiles right to left so each op's closure captures its
+// continuation directly. Superinstruction runs become one combined
+// closure when compileFused knows the pattern, else they decompose into
+// a chain of per-op closures with identical behavior.
+func (cc *funcCompiler) compileBlock(bi int) blockFn {
+	cc.bi = bi
+	f := cc.f
+	lo, hi := int(f.blockStart[bi]), int(f.blockStart[bi+1])
+	units := make([]cunit, 0, hi-lo)
+	for i := lo; i < hi; {
+		d := &f.code[i]
+		if d.op >= nBaseDop {
+			seq := fusedDopSeq[d.op]
+			if seq == nil {
+				cc.declined = true
+				return nil
+			}
+			subs := make([]*dinst, len(seq))
+			for k := range seq {
+				subs[k] = &f.code[i+k]
+			}
+			units = append(units, cunit{op: d.op, d: d, subs: subs, pres: make([]Stats, len(seq))})
+			i += len(seq)
+		} else {
+			units = append(units, cunit{op: d.op, d: d})
+			i++
+		}
+	}
+	var seg Stats
+	lastOp := units[len(units)-1].op
+	for k := range units {
+		u := &units[k]
+		u.pre = seg
+		if u.subs != nil {
+			seq := fusedDopSeq[u.op]
+			for s := range seq {
+				u.pres[s] = seg
+				if seq[s] == opCall || isTransfer(seq[s]) {
+					seg = Stats{}
+				} else {
+					segCharge(seq[s], u.subs[s], &seg)
+				}
+			}
+			if k == len(units)-1 {
+				lastOp = seq[len(seq)-1]
+			}
+		} else if u.op == opCall || isTransfer(u.op) {
+			seg = Stats{}
+		} else {
+			segCharge(u.op, u.d, &seg)
+		}
+	}
+	var next blockFn
+	if !isTransfer(lastOp) {
+		// The block ends without a transfer (elided goto): continue
+		// straight into the physically following block's chain (built
+		// already — reverse order), crediting the trailing segment.
+		fallFb := cc.blocks[bi+1]
+		if seg == (Stats{}) {
+			next = fallFb
+		} else {
+			id := cc.newCounter(seg)
+			next = func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+				m.counts[id]++
+				return fallFb(m, w, cmpA, cmpB, flags, steps)
+			}
+		}
+	}
+	for k := len(units) - 1; k >= 0; k-- {
+		u := &units[k]
+		if u.subs == nil {
+			next = cc.compileUnit(u.op, u.d, next, u.pre)
+			continue
+		}
+		if !cc.hooked {
+			if fb := cc.compileFused(u, next); fb != nil {
+				next = fb
+				continue
+			}
+		}
+		// Decompose: chain the base sequence per-op. The first dinst's
+		// opcode field was overwritten by fusion; seq names it.
+		seq := fusedDopSeq[u.op]
+		for s := len(seq) - 1; s >= 0; s-- {
+			next = cc.compileUnit(seq[s], u.subs[s], next, u.pres[s])
+		}
+	}
+	return next
+}
+
+// plus returns s with add's fields added; a convenience for building
+// transfer deltas from a segment prefix.
+func plus(s Stats, add Stats) Stats {
+	statsAddScaled(&s, &add, 1)
+	return s
+}
+
+// compileUnit compiles one base op into a closure continuing with
+// next. pre is the segment delta accumulated before this op; trap
+// closures credit it (plus any of their own charges FastMachine applies
+// before its trap) so aborted-run Stats stay identical too.
+func (cc *funcCompiler) compileUnit(op dop, d *dinst, next blockFn, pre Stats) blockFn {
+	fname := cc.fname
+	switch op {
+	case opEnter:
+		stepCost := uint64(d.stepCost)
+		partial := &Stats{Insts: uint64(d.cost)}
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			steps += stepCost
+			if steps > m.maxSteps {
+				return m.stepTrap(partial, fname)
+			}
+			return next(m, w, cmpA, cmpB, flags, steps)
+		}
+
+	case opMov:
+		dst, a := d.dst, d.a
+		if a.reg >= 0 {
+			src := a.reg
+			return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+				w[dst] = w[src]
+				return next(m, w, cmpA, cmpB, flags, steps)
+			}
+		}
+		imm := a.imm
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			w[dst] = imm
+			return next(m, w, cmpA, cmpB, flags, steps)
+		}
+	case opAdd:
+		dst, a, b := d.dst, d.a, d.b
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			w[dst] = a.val(w) + b.val(w)
+			return next(m, w, cmpA, cmpB, flags, steps)
+		}
+	case opSub:
+		dst, a, b := d.dst, d.a, d.b
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			w[dst] = a.val(w) - b.val(w)
+			return next(m, w, cmpA, cmpB, flags, steps)
+		}
+	case opMul:
+		dst, a, b := d.dst, d.a, d.b
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			w[dst] = a.val(w) * b.val(w)
+			return next(m, w, cmpA, cmpB, flags, steps)
+		}
+	case opDiv:
+		dst, a, b := d.dst, d.a, d.b
+		partial := &pre
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			dv := b.val(w)
+			if dv == 0 {
+				return m.trap(partial, fname, "division by zero")
+			}
+			w[dst] = a.val(w) / dv
+			return next(m, w, cmpA, cmpB, flags, steps)
+		}
+	case opRem:
+		dst, a, b := d.dst, d.a, d.b
+		partial := &pre
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			dv := b.val(w)
+			if dv == 0 {
+				return m.trap(partial, fname, "remainder by zero")
+			}
+			w[dst] = a.val(w) % dv
+			return next(m, w, cmpA, cmpB, flags, steps)
+		}
+	case opAnd:
+		dst, a, b := d.dst, d.a, d.b
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			w[dst] = a.val(w) & b.val(w)
+			return next(m, w, cmpA, cmpB, flags, steps)
+		}
+	case opOr:
+		dst, a, b := d.dst, d.a, d.b
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			w[dst] = a.val(w) | b.val(w)
+			return next(m, w, cmpA, cmpB, flags, steps)
+		}
+	case opXor:
+		dst, a, b := d.dst, d.a, d.b
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			w[dst] = a.val(w) ^ b.val(w)
+			return next(m, w, cmpA, cmpB, flags, steps)
+		}
+	case opShl:
+		dst, a, b := d.dst, d.a, d.b
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			w[dst] = a.val(w) << (uint64(b.val(w)) & 63)
+			return next(m, w, cmpA, cmpB, flags, steps)
+		}
+	case opShr:
+		dst, a, b := d.dst, d.a, d.b
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			w[dst] = a.val(w) >> (uint64(b.val(w)) & 63)
+			return next(m, w, cmpA, cmpB, flags, steps)
+		}
+	case opNeg:
+		dst, a := d.dst, d.a
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			w[dst] = -a.val(w)
+			return next(m, w, cmpA, cmpB, flags, steps)
+		}
+	case opNot:
+		dst, a := d.dst, d.a
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			w[dst] = ^a.val(w)
+			return next(m, w, cmpA, cmpB, flags, steps)
+		}
+	case opCmp:
+		a, b := d.a, d.b
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			return next(m, w, a.val(w), b.val(w), true, steps)
+		}
+	case opLd:
+		dst, a := d.dst, d.a
+		partial := &pre
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			addr := a.val(w)
+			if addr < 0 || addr >= int64(len(m.mem)) {
+				return m.trap(partial, fname, fmt.Sprintf("load address %d out of range", addr))
+			}
+			w[dst] = m.mem[addr]
+			return next(m, w, cmpA, cmpB, flags, steps)
+		}
+	case opSt:
+		a, b := d.a, d.b
+		partial := &pre
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			addr := a.val(w)
+			if addr < 0 || addr >= int64(len(m.mem)) {
+				return m.trap(partial, fname, fmt.Sprintf("store address %d out of range", addr))
+			}
+			m.mem[addr] = b.val(w)
+			return next(m, w, cmpA, cmpB, flags, steps)
+		}
+	case opGetChar:
+		dst := d.dst
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			if m.inPos < len(m.Input) {
+				w[dst] = int64(m.Input[m.inPos])
+				m.inPos++
+			} else {
+				w[dst] = -1
+			}
+			return next(m, w, cmpA, cmpB, flags, steps)
+		}
+	case opPutChar:
+		a := d.a
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			m.Output.WriteByte(byte(a.val(w)))
+			return next(m, w, cmpA, cmpB, flags, steps)
+		}
+	case opPutInt:
+		a := d.a
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			m.Output.Write(strconv.AppendInt(m.numBuf[:0], a.val(w), 10))
+			return next(m, w, cmpA, cmpB, flags, steps)
+		}
+	case opProf:
+		if !cc.hooked {
+			return next // ProfHits comes with the segment delta
+		}
+		seqID, sub, a := int(d.seqID), int(d.sub), d.a
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			if m.OnProf != nil {
+				m.OnProf(seqID, sub, a.val(w))
+			}
+			return next(m, w, cmpA, cmpB, flags, steps)
+		}
+	case opProfCond:
+		if !cc.hooked {
+			return next // ProfHits comes with the segment delta
+		}
+		seqID, sub, a, b, relMask := int(d.seqID), int(d.sub), d.a, d.b, d.relMask
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			if m.OnProf != nil {
+				v := int64(0)
+				if maskHolds(relMask, a.val(w), b.val(w)) {
+					v = 1
+				}
+				m.OnProf(seqID, sub, v)
+			}
+			return next(m, w, cmpA, cmpB, flags, steps)
+		}
+
+	case opCall:
+		call := &cc.f.calls[d.t1]
+		if call.fn < 0 {
+			name := call.name
+			partial := &pre
+			return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+				return m.trap(partial, fname, "call to unknown function "+name)
+			}
+		}
+		id := cc.newCounter(plus(pre, Stats{Calls: 1}))
+		args := call.args
+		dst := call.dst
+		callerNRegs := int32(cc.f.nRegs)
+		calleeNRegs := cc.c.funcs[call.fn].nRegs
+		entryp := &cc.cp.entries[call.fn]
+		resume := next
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			m.counts[id]++
+			// The arena tail is exactly the current window, so the
+			// caller's base is the arena length minus the window size.
+			base := int32(len(m.regs) - len(w))
+			m.frames = append(m.frames, closFrame{
+				resume: resume, base: base, nRegs: callerNRegs, dst: dst,
+				cmpA: cmpA, cmpB: cmpB, flags: flags,
+			})
+			newBase := len(m.regs)
+			m.regs = growWindow(m.regs, newBase+calleeNRegs)
+			neww := m.regs[newBase:]
+			// w may point at a stale backing array after growth; its
+			// values are still the caller's registers, so argument
+			// reads stay valid.
+			n := len(args)
+			if n > len(neww) {
+				n = len(neww)
+			}
+			for i := 0; i < n; i++ {
+				neww[i] = args[i].val(w)
+			}
+			return *entryp, neww, 0, 0, false, steps
+		}
+
+	case opRet:
+		stepCost := uint64(d.stepCost) + 1
+		full := plus(pre, Stats{Insts: uint64(d.cost) + 1, SlotNops: uint64(d.slotTaken)})
+		id := cc.newCounter(full)
+		partial := &full // FastMachine charges all of it before its step check
+		a := d.a
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			steps += stepCost
+			if steps > m.maxSteps {
+				return m.stepTrap(partial, fname)
+			}
+			m.counts[id]++
+			v := a.val(w)
+			nf := len(m.frames)
+			if nf == 0 {
+				m.ret = v
+				return nil, nil, 0, 0, false, 0
+			}
+			fr := &m.frames[nf-1]
+			m.frames = m.frames[:nf-1]
+			// Truncate the arena to the caller's window end so the
+			// invariant len(m.regs) == base+nRegs holds for the next
+			// call.
+			m.regs = m.regs[:fr.base+fr.nRegs]
+			nw := m.regs[fr.base:]
+			if fr.dst >= 0 {
+				nw[fr.dst] = v
+			}
+			return fr.resume, nw, fr.cmpA, fr.cmpB, fr.flags, steps
+		}
+
+	case opJump:
+		stepCost := uint64(d.stepCost) + 1
+		full := plus(pre, Stats{Jumps: 1, Insts: uint64(d.cost) + 1, SlotNops: uint64(d.slotTaken)})
+		id := cc.newCounter(full)
+		partial := &full // FastMachine charges all of it before its step check
+		takenFb, takenp := cc.succ(d.t1)
+		if takenFb != nil {
+			return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+				steps += stepCost
+				if steps > m.maxSteps {
+					return m.stepTrap(partial, fname)
+				}
+				m.counts[id]++
+				return takenFb(m, w, cmpA, cmpB, flags, steps)
+			}
+		}
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			steps += stepCost
+			if steps > m.maxSteps {
+				return m.stepTrap(partial, fname)
+			}
+			m.counts[id]++
+			return *takenp, w, cmpA, cmpB, flags, steps
+		}
+
+	case opBr, opCmpBr:
+		if !cc.hooked {
+			// The plain variant gets mask- and operand-specialized
+			// bodies: the relation becomes a single native compare-and-
+			// branch instead of an interpreted mask test.
+			return cc.compileBranchPlain(op, d, pre)
+		}
+		isCmp := op == opCmpBr
+		stepCost := uint64(d.stepCost) + 1
+		charge := Stats{CondBranches: 1, Insts: uint64(d.cost) + 1}
+		if isCmp {
+			charge.Cmps = 1
+		}
+		// FastMachine charges the branch (and a CmpBr's compare) before
+		// its step check; the outcome's SlotNops/TakenBranches only
+		// after, so the step-trap partial excludes them.
+		stepPartial := plus(pre, charge)
+		partial := &stepPartial
+		undefPartial := &pre
+		idTaken := cc.newCounter(plus(stepPartial, Stats{TakenBranches: 1, SlotNops: uint64(d.slotTaken)}))
+		idFall := cc.newCounter(plus(stepPartial, Stats{SlotNops: uint64(d.slotFall)}))
+		relMask := d.relMask
+		branchID := int(d.branchID)
+		takenp := cc.blockPtr(d.t1)
+		fallp := cc.blockPtr(d.t2)
+		a, b := d.a, d.b
+		if isCmp {
+			return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+				cmpA, cmpB = a.val(w), b.val(w)
+				steps += stepCost
+				if steps > m.maxSteps {
+					return m.stepTrap(partial, fname)
+				}
+				rs := 0
+				if cmpA < cmpB {
+					rs = 2
+				} else if cmpA == cmpB {
+					rs = 1
+				}
+				taken := relMask>>rs&1 != 0
+				if m.OnBranch != nil {
+					m.OnBranch(branchID, taken)
+				}
+				if taken {
+					m.counts[idTaken]++
+					return *takenp, w, cmpA, cmpB, true, steps
+				}
+				m.counts[idFall]++
+				return *fallp, w, cmpA, cmpB, true, steps
+			}
+		}
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			if !flags {
+				return m.trap(undefPartial, fname, "conditional branch with undefined condition codes")
+			}
+			steps += stepCost
+			if steps > m.maxSteps {
+				return m.stepTrap(partial, fname)
+			}
+			rs := 0
+			if cmpA < cmpB {
+				rs = 2
+			} else if cmpA == cmpB {
+				rs = 1
+			}
+			taken := relMask>>rs&1 != 0
+			if m.OnBranch != nil {
+				m.OnBranch(branchID, taken)
+			}
+			if taken {
+				m.counts[idTaken]++
+				return *takenp, w, cmpA, cmpB, flags, steps
+			}
+			m.counts[idFall]++
+			return *fallp, w, cmpA, cmpB, flags, steps
+		}
+
+	case opIJmp:
+		stepCost := uint64(d.stepCost)
+		// The per-jump IJmpInsts charge is machine-configured, so it
+		// cannot live in the counter delta; the closure charges it
+		// eagerly (indirect jumps are rare enough not to matter).
+		full := plus(pre, Stats{IndirectJumps: 1, Insts: uint64(d.cost), SlotNops: uint64(d.slotTaken)})
+		id := cc.newCounter(full)
+		partial := &full
+		boundsPartial := &pre
+		a := d.a
+		pcs := cc.f.tables[d.t1]
+		tbl := make([]*blockFn, len(pcs))
+		for i, pc := range pcs {
+			tbl[i] = cc.blockPtr(pc)
+		}
+		n := int64(len(tbl))
+		return func(m *ClosureMachine, w []int64, cmpA, cmpB int64, flags bool, steps uint64) (blockFn, []int64, int64, int64, bool, uint64) {
+			idx := a.val(w)
+			if idx < 0 || idx >= n {
+				return m.trap(boundsPartial, fname, fmt.Sprintf("indirect jump index %d out of range [0,%d)", idx, n))
+			}
+			m.Stats.Insts += m.ijmpInsts
+			steps += stepCost + m.ijmpInsts
+			if steps > m.maxSteps {
+				return m.stepTrap(partial, fname)
+			}
+			m.counts[id]++
+			return *tbl[idx], w, cmpA, cmpB, flags, steps
+		}
+	}
+
+	// Unknown op: decline the function; Run falls back to FastMachine.
+	cc.declined = true
+	return next
+}

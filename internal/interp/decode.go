@@ -198,11 +198,17 @@ type dfunc struct {
 }
 
 // Code is a whole program compiled for the fast engine. A Code is
-// immutable after Decode and safe for concurrent FastMachines.
+// immutable after Decode and safe for concurrent FastMachines. The
+// closure engine's compiled variants (compile.go) are cached here
+// lazily under closOnce, so a Code stays safe for concurrent
+// ClosureMachines too.
 type Code struct {
 	prog  *ir.Program
 	funcs []dfunc
 	main  int
+
+	closOnce closOncePair
+	clos     [2]*compiledProg // plain, hooked
 }
 
 // Prog returns the program the code was decoded from.

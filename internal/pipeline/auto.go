@@ -63,17 +63,12 @@ func AutoBuildWith(cache *StageCache, src string, train []byte, base Options) (*
 				cands[i].err = fmt.Errorf("auto build (set %v): %w", set, err)
 				return
 			}
-			code, err := interp.Decode(b.Reordered)
+			_, st, _, err := interp.Exec(cache.Exec, b.Reordered, nil, train, nil, nil)
 			if err != nil {
 				cands[i].err = fmt.Errorf("auto evaluation (set %v): %w", set, err)
 				return
 			}
-			m := &interp.FastMachine{Code: code, Input: train}
-			if _, err := m.Run(); err != nil {
-				cands[i].err = fmt.Errorf("auto evaluation (set %v): %w", set, err)
-				return
-			}
-			cands[i] = candidate{build: b, insts: m.Stats.Insts}
+			cands[i] = candidate{build: b, insts: st.Insts}
 		}(i, set)
 	}
 	wg.Wait()

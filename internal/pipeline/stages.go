@@ -126,6 +126,14 @@ func profHook(prof *core.Profile, orProf *core.OrProfile) func(seqID, sub int, v
 // mirroring the monolithic Build's first pass exactly so the counts are
 // identical to the ones an in-place build would collect.
 func TrainStage(front *FrontendProduct, train []byte, d DetectOptions) (*TrainProduct, error) {
+	return TrainStageWith(front, train, d, interp.EngineFast)
+}
+
+// TrainStageWith is TrainStage on an explicit execution engine. All
+// engines replay the exact same OnProf hook sequence, so the collected
+// profile — and every build derived from it — is byte-identical for any
+// choice; only the training run's wall-clock changes.
+func TrainStageWith(front *FrontendProduct, train []byte, d DetectOptions, e interp.Engine) (*TrainProduct, error) {
 	prog := ir.CloneProgram(front.Prog)
 	seqs := core.Detect(prog, 0)
 	for _, s := range seqs {
@@ -150,8 +158,7 @@ func TrainStage(front *FrontendProduct, train []byte, d DetectOptions) (*TrainPr
 	// surviving counts back to exact shape after the run; a zero config
 	// leaves the hook untouched.
 	sampler := profile.NewSampler(d.Profile, prof, orProf)
-	m := &interp.FastMachine{Code: code, Input: train, OnProf: sampler.Hook(profHook(prof, orProf))}
-	if _, err := m.Run(); err != nil {
+	if _, _, _, err := interp.Exec(e, prog, code, train, nil, sampler.Hook(profHook(prof, orProf))); err != nil {
 		return nil, fmt.Errorf("training run: %w", err)
 	}
 	sampler.Scale()

@@ -24,6 +24,11 @@ type Instrumented struct {
 	Prog        *ir.Program
 	Sequences   []*core.Sequence
 	OrSequences []*core.OrSequence
+
+	// Exec selects the execution engine for Train. Profiles are
+	// byte-identical under every engine; the zero value is the fast
+	// interpreter.
+	Exec interp.Engine
 }
 
 // Instrument runs the first pass: compile, optimize, detect, instrument.
@@ -72,9 +77,8 @@ func (ins *Instrumented) Train(input []byte) (*core.Profile, *core.OrProfile, er
 	if err != nil {
 		return nil, nil, fmt.Errorf("training run: %w", err)
 	}
-	m := &interp.FastMachine{Code: code, Input: input,
-		OnProf: profHook(prof, orProf)}
-	if _, err := m.Run(); err != nil {
+	if _, _, _, err := interp.Exec(ins.Exec, ins.Prog, code, input, nil,
+		profHook(prof, orProf)); err != nil {
 		return nil, nil, fmt.Errorf("training run: %w", err)
 	}
 	return prof, orProf, nil
